@@ -1,0 +1,158 @@
+// Command abmm multiplies matrices with a chosen algorithm and reports
+// timing and accuracy against the quad-precision classical reference.
+//
+// Usage:
+//
+//	abmm -alg ours -n 2048 -levels auto
+//	abmm -alg strassen -n 1024 -levels 3 -check -dist positive
+//	abmm -alg ours -n 2048 -scale repeated-o-i
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strconv"
+	"time"
+
+	"abmm"
+)
+
+func main() {
+	log.SetFlags(0)
+	var (
+		algName = flag.String("alg", "ours", "algorithm name (see algoinfo)")
+		n       = flag.Int("n", 1024, "matrix dimension")
+		m       = flag.Int("m", 0, "rows of A (default n)")
+		k       = flag.Int("k", 0, "cols of A / rows of B (default n)")
+		levels  = flag.String("levels", "auto", "recursion steps or 'auto'")
+		workers = flag.Int("workers", 0, "parallelism (0 = GOMAXPROCS)")
+		dist    = flag.String("dist", "symmetric", "input distribution: symmetric | positive | adv-outside | adv-inside")
+		scale   = flag.String("scale", "none", "diagonal scaling: none | outside | inside | outside-inside | inside-outside | repeated-o-i")
+		check   = flag.Bool("check", true, "measure error vs quad-precision classical reference")
+		reps    = flag.Int("reps", 3, "timing repetitions (median reported)")
+		seed    = flag.Uint64("seed", 1, "input seed")
+	)
+	flag.Parse()
+
+	alg, err := abmm.Lookup(*algName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rows, inner := *n, *n
+	if *m > 0 {
+		rows = *m
+	}
+	if *k > 0 {
+		inner = *k
+	}
+	a := abmm.NewMatrix(rows, inner)
+	b := abmm.NewMatrix(inner, *n)
+	rng := abmm.Rand(*seed)
+	switch *dist {
+	case "symmetric":
+		a.FillUniform(rng, -1, 1)
+		b.FillUniform(rng, -1, 1)
+	case "positive":
+		a.FillUniform(rng, 0, 1)
+		b.FillUniform(rng, 0, 1)
+	case "adv-outside", "adv-inside":
+		if rows != inner || inner != *n {
+			log.Fatal("adversarial distributions need square matrices")
+		}
+		d := abmm.DistAdversarialOutside
+		if *dist == "adv-inside" {
+			d = abmm.DistAdversarialInside
+		}
+		abmm.FillPair(a, b, d, rng)
+	default:
+		log.Fatalf("unknown distribution %q", *dist)
+	}
+
+	opt := abmm.Options{Workers: *workers}
+	if *levels == "auto" {
+		opt.Levels = abmm.AutoLevels
+	} else {
+		l, err := strconv.Atoi(*levels)
+		if err != nil {
+			log.Fatalf("bad -levels: %v", err)
+		}
+		opt.Levels = l
+	}
+
+	method, err := parseScale(*scale)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var c *abmm.Matrix
+	var best time.Duration
+	for r := 0; r < *reps; r++ {
+		start := time.Now()
+		if method == abmm.ScaleNone {
+			c = abmm.Multiply(alg, a, b, opt)
+		} else {
+			c = abmm.MultiplyScaled(alg, a, b, opt, method)
+		}
+		if d := time.Since(start); r == 0 || d < best {
+			best = d
+		}
+	}
+	info := abmm.InfoFor(alg)
+	flops := 2 * float64(rows) * float64(inner) * float64(*n)
+	fmt.Printf("%s ⟨%d,%d,%d;%d⟩  %dx%dx%d  %v  (%.2f classical-equivalent GFLOP/s)\n",
+		info.Name, info.M0, info.K0, info.N0, info.R, rows, inner, *n,
+		best, flops/best.Seconds()/1e9)
+	if *check {
+		ref := abmm.ReferenceProduct(a, b, *workers)
+		maxAbs, maxRel := diff(c, ref)
+		fmt.Printf("max abs error %.3e   max rel error %.3e   bound f(n)·ε = %.3e\n",
+			maxAbs, maxRel, abmm.ErrorBound(alg, float64(*n))*0x1p-53)
+	}
+}
+
+func diff(a, b *abmm.Matrix) (maxAbs, maxRel float64) {
+	for i := 0; i < a.Rows; i++ {
+		for j := 0; j < a.Cols; j++ {
+			d := a.At(i, j) - b.At(i, j)
+			if d < 0 {
+				d = -d
+			}
+			if d > maxAbs {
+				maxAbs = d
+			}
+			if r := b.At(i, j); r != 0 {
+				rel := d / abs(r)
+				if rel > maxRel {
+					maxRel = rel
+				}
+			}
+		}
+	}
+	return maxAbs, maxRel
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func parseScale(s string) (abmm.ScalingMethod, error) {
+	switch s {
+	case "none":
+		return abmm.ScaleNone, nil
+	case "outside":
+		return abmm.ScaleOutside, nil
+	case "inside":
+		return abmm.ScaleInside, nil
+	case "outside-inside":
+		return abmm.ScaleOutsideInside, nil
+	case "inside-outside":
+		return abmm.ScaleInsideOutside, nil
+	case "repeated-o-i":
+		return abmm.ScaleRepeatedOI, nil
+	}
+	return abmm.ScaleNone, fmt.Errorf("unknown scaling method %q", s)
+}

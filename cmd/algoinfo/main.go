@@ -1,0 +1,45 @@
+// Command algoinfo prints the computed analytic properties of catalog
+// algorithms: base case, product count, addition counts, arithmetic
+// leading coefficient, stability factor, prefactors, and the error
+// bound at a reference size.
+//
+// Usage:
+//
+//	algoinfo              # all catalog algorithms
+//	algoinfo ours strassen
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"text/tabwriter"
+
+	"abmm"
+)
+
+func main() {
+	log.SetFlags(0)
+	names := os.Args[1:]
+	if len(names) == 0 {
+		names = abmm.Names()
+	}
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "name\tbase\tR\talt?\tbilinear adds\ttransform adds\tleading coef\tE\tQ\tQ'\tbound f(4096)")
+	for _, name := range names {
+		alg, err := abmm.Lookup(name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := alg.Validate(); err != nil {
+			log.Fatalf("%s failed verification: %v", name, err)
+		}
+		info := abmm.InfoFor(alg)
+		fmt.Fprintf(w, "%s\t⟨%d,%d,%d⟩\t%d\t%v\t%d\t%d\t%.2f\t%.6g\t%d\t%d\t%.3e\n",
+			info.Name, info.M0, info.K0, info.N0, info.R, info.AltBasis,
+			info.BilinearAdditions, info.TransformAdditions,
+			info.LeadingCoefficient, info.StabilityFactor, info.Q, info.QLoose,
+			abmm.ErrorBound(alg, 4096))
+	}
+	w.Flush()
+}

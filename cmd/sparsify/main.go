@@ -1,0 +1,145 @@
+// Command sparsify runs the Section IV searches offline: deriving the
+// paper's fast-and-stable ⟨2,2,2;7⟩ algorithm from Strassen's orbit and
+// the Appendix A bases, and sparsifying operators of other algorithms.
+//
+// Usage:
+//
+//	sparsify -mode ours          # orbit search with the Appendix A bases
+//	sparsify -mode strassen-alt  # greedy basis sparsification of Strassen
+//	sparsify -mode stabilize     # Section IV-A: restabilize alt-winograd to E=12
+//	sparsify -mode classes       # Bini–Lotti stability-class survey
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/big"
+
+	"abmm/internal/algos"
+	"abmm/internal/exact"
+	"abmm/internal/sparsify"
+	"abmm/internal/stability"
+)
+
+func main() {
+	log.SetFlags(0)
+	mode := flag.String("mode", "ours", "search to run: ours | strassen-alt")
+	flag.Parse()
+	switch *mode {
+	case "ours":
+		searchOurs()
+	case "strassen-alt":
+		searchStrassenAlt()
+	case "stabilize":
+		stabilize()
+	case "classes":
+		classSurvey()
+	default:
+		log.Fatalf("unknown mode %q", *mode)
+	}
+}
+
+// stabilize reproduces Section IV-A: replace the alternative basis
+// Winograd algorithm's transformations to reach stability factor 12
+// while keeping its 12-addition bilinear phase.
+func stabilize() {
+	base := algos.AltWinograd()
+	gens := sparsify.Invertible2x2([]int64{-1, 0, 1})
+	fmt.Printf("stabilizing %s (E=%s) to E=12 over %d³ transformations...\n",
+		base.Name, stability.Factor(base).RatString(), len(gens))
+	out, err := sparsify.Stabilize(base, gens, 12)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("result E = %s\n", stability.Factor(out).RatString())
+	fmt.Printf("phi =\n%spsi =\n%snu =\n%s", out.Phi.M, out.Psi.M, out.Nu.M)
+	if err := out.Validate(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("Brent verification: OK")
+}
+
+// classSurvey buckets Strassen's orbit into Bini–Lotti stability
+// classes.
+func classSurvey() {
+	s := algos.Strassen()
+	gens := sparsify.Invertible2x2([]int64{-1, 0, 1})
+	classes, err := sparsify.ClassSurvey(2, 2, 2, s.Spec.U, s.Spec.V, s.Spec.W, gens, 200000)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%d stability classes; (factor, best additions, count):\n", len(classes))
+	for i, c := range classes {
+		if i >= 25 {
+			fmt.Printf("... and %d more\n", len(classes)-25)
+			break
+		}
+		fmt.Printf("E=%-8g adds=%-4d count=%d\n", c.Factor, c.BestAdds, c.Count)
+	}
+}
+
+// appendixABases returns the basis transformation matrices of the
+// paper's algorithm (Appendix A): φ, ψ and ν (the paper lists ν⁻¹).
+func appendixABases() (phi, psi, nu *exact.Matrix) {
+	phi = exact.FromRows([][]int64{
+		{0, 0, 1, 1},
+		{0, 0, 0, 1},
+		{-1, -1, 0, 0},
+		{1, 0, 0, 1},
+	})
+	psi = exact.FromRows([][]int64{
+		{1, 0, 0, 0},
+		{1, 1, 0, 0},
+		{-1, 0, 1, 0},
+		{1, 0, 0, 1},
+	})
+	nuInv := exact.FromRows([][]int64{
+		{0, 0, 1, -1},
+		{0, 0, -1, 0},
+		{1, 0, 0, 0},
+		{-1, 1, 0, -1},
+	})
+	nu, err := nuInv.Inverse()
+	if err != nil {
+		log.Fatalf("Appendix A ν⁻¹ is singular: %v", err)
+	}
+	return phi, psi, nu
+}
+
+func searchOurs() {
+	phi, psi, nu := appendixABases()
+	base := algos.Strassen()
+	gens := sparsify.Invertible2x2([]int64{-1, 0, 1})
+	fmt.Printf("searching orbit with %d generators per side (%d triples)\n", len(gens), len(gens)*len(gens)*len(gens))
+	twelve := big.NewRat(12, 1)
+	res, err := sparsify.OrbitSearch(2, 2, 2, base.Spec.U, base.Spec.V, base.Spec.W,
+		phi, psi, nu, gens,
+		func(u, v, w *exact.Matrix) bool {
+			return stability.MaxRatOfVector(u, v, w).Cmp(twelve) <= 0
+		})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("best total nnz of bilinear operators: %d\n", res.NNZ)
+	fmt.Printf("P =\n%sQ =\n%sR =\n%s", res.P, res.Q, res.R)
+	fmt.Printf("U_phi (nnz %d) =\n%s", res.UPhi.NNZ(), res.UPhi)
+	fmt.Printf("V_psi (nnz %d) =\n%s", res.VPsi.NNZ(), res.VPsi)
+	fmt.Printf("W_nu (nnz %d) =\n%s", res.WNu.NNZ(), res.WNu)
+	fmt.Printf("standard-basis U =\n%sV =\n%sW =\n%s", res.U, res.V, res.W)
+	if err := exact.VerifyBilinear(2, 2, 2, res.U, res.V, res.W); err != nil {
+		log.Fatalf("result fails Brent verification: %v", err)
+	}
+	fmt.Println("Brent verification: OK")
+}
+
+func searchStrassenAlt() {
+	res, err := sparsify.Sparsify(algos.Strassen(), sparsify.DefaultSearch())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("sparsified additions: %d (bilinear)\n", res.Spec.TotalAdditions())
+	fmt.Printf("phi =\n%s", res.Phi.M)
+	fmt.Printf("psi =\n%s", res.Psi.M)
+	fmt.Printf("nu =\n%s", res.Nu.M)
+}

@@ -1,0 +1,85 @@
+package abmm_test
+
+import (
+	"fmt"
+
+	"abmm"
+)
+
+// The basic workflow: look up an algorithm, multiply, inspect its
+// analytic properties.
+func Example() {
+	a := abmm.FromRows([][]float64{{1, 2}, {3, 4}})
+	b := abmm.FromRows([][]float64{{5, 6}, {7, 8}})
+	alg, _ := abmm.Lookup("ours")
+	c := abmm.Multiply(alg, a, b, abmm.Options{Levels: 1})
+	fmt.Printf("c = [[%g %g] [%g %g]]\n", c.At(0, 0), c.At(0, 1), c.At(1, 0), c.At(1, 1))
+	info := abmm.InfoFor(alg)
+	fmt.Printf("leading coefficient %.0f, stability factor %.0f\n",
+		info.LeadingCoefficient, info.StabilityFactor)
+	// Output:
+	// c = [[19 22] [43 50]]
+	// leading coefficient 5, stability factor 12
+}
+
+// Comparing the catalog's speed/stability profiles (Table I of the
+// paper).
+func ExampleInfoFor() {
+	for _, name := range []string{"strassen", "winograd", "ours"} {
+		alg, _ := abmm.Lookup(name)
+		info := abmm.InfoFor(alg)
+		fmt.Printf("%-9s leading=%.0f E=%.0f\n", name, info.LeadingCoefficient, info.StabilityFactor)
+	}
+	// Output:
+	// strassen  leading=7 E=12
+	// winograd  leading=6 E=18
+	// ours      leading=5 E=12
+}
+
+// Diagonal scaling rescues badly scaled inputs at O(n²) cost.
+func ExampleMultiplyScaled() {
+	const n = 64
+	a, b := abmm.NewMatrix(n, n), abmm.NewMatrix(n, n)
+	abmm.FillPair(a, b, abmm.DistAdversarialInside, abmm.Rand(1))
+	alg, _ := abmm.Lookup("ours")
+	plain := abmm.Multiply(alg, a, b, abmm.Options{Levels: 2})
+	scaled := abmm.MultiplyScaled(alg, a, b, abmm.Options{Levels: 2}, abmm.ScaleRepeatedOI)
+	ref := abmm.ReferenceProduct(a, b, 0)
+	fmt.Printf("scaling improved worst relative error: %v\n",
+		maxRelErr(scaled, ref) < maxRelErr(plain, ref))
+	// Output:
+	// scaling improved worst relative error: true
+}
+
+func maxRelErr(got, ref *abmm.Matrix) float64 {
+	max := 0.0
+	for i := 0; i < got.Rows; i++ {
+		for j := 0; j < got.Cols; j++ {
+			d := got.At(i, j) - ref.At(i, j)
+			if d < 0 {
+				d = -d
+			}
+			if r := ref.At(i, j); r != 0 {
+				if r < 0 {
+					r = -r
+				}
+				d /= r
+			}
+			if d > max {
+				max = d
+			}
+		}
+	}
+	return max
+}
+
+// The error-measurement pipeline behind the paper's Figure 2(C).
+func ExampleMeasureMaxError() {
+	strassen, _ := abmm.Lookup("strassen")
+	winograd, _ := abmm.Lookup("winograd")
+	es := abmm.MeasureMaxError(strassen, 256, 3, 3, abmm.DistSymmetric, 1, 0)
+	ew := abmm.MeasureMaxError(winograd, 256, 3, 3, abmm.DistSymmetric, 1, 0)
+	fmt.Printf("E=12 beats E=18 on uniform(-1,1): %v\n", es < ew)
+	// Output:
+	// E=12 beats E=18 on uniform(-1,1): true
+}

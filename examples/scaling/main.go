@@ -1,0 +1,78 @@
+// Scaling study: on badly scaled inputs a fast algorithm's
+// component-wise relative error explodes; diagonal scaling repairs it
+// at O(n²) cost — and works identically for alternative basis
+// algorithms (the paper's Section V / Figure 4).
+//
+//	go run ./examples/scaling
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"os"
+	"text/tabwriter"
+
+	"abmm"
+)
+
+func main() {
+	const n = 512
+	type scenario struct {
+		label string
+		dist  abmm.Dist
+	}
+	scenarios := []scenario{
+		{"benign U(0,1)", abmm.DistPositive},
+		{"adversarial-vs-outside (dist 2)", abmm.DistAdversarialOutside},
+		{"adversarial-vs-inside (dist 3)", abmm.DistAdversarialInside},
+	}
+	methods := []struct {
+		label  string
+		method abmm.ScalingMethod
+	}{
+		{"none", abmm.ScaleNone},
+		{"outside", abmm.ScaleOutside},
+		{"inside", abmm.ScaleInside},
+		{"repeated-o-i", abmm.ScaleRepeatedOI},
+	}
+	alg, err := abmm.Lookup("ours")
+	if err != nil {
+		log.Fatal(err)
+	}
+	opt := abmm.Options{Levels: 3}
+
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "input\tscaling\tmax relative error")
+	for _, sc := range scenarios {
+		a, b := abmm.NewMatrix(n, n), abmm.NewMatrix(n, n)
+		abmm.FillPair(a, b, sc.dist, abmm.Rand(7))
+		ref := abmm.ReferenceProduct(a, b, 0)
+		for _, m := range methods {
+			c := abmm.MultiplyScaled(alg, a, b, opt, m.method)
+			fmt.Fprintf(w, "%s\t%s\t%.3e\n", sc.label, m.label, maxRel(c, ref))
+		}
+	}
+	w.Flush()
+	fmt.Println("\nExpected pattern (paper Fig. 4): distribution 2 is rescued by")
+	fmt.Println("inside scaling, distribution 3 by outside scaling, and repeated")
+	fmt.Println("outside-inside is safe for both.")
+}
+
+func maxRel(a, b *abmm.Matrix) float64 {
+	max := 0.0
+	for i := 0; i < a.Rows; i++ {
+		for j := 0; j < a.Cols; j++ {
+			d := math.Abs(a.At(i, j) - b.At(i, j))
+			if r := math.Abs(b.At(i, j)); r != 0 {
+				d /= r
+			} else if d == 0 {
+				continue
+			}
+			if d > max {
+				max = d
+			}
+		}
+	}
+	return max
+}

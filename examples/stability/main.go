@@ -1,0 +1,47 @@
+// Stability study: measure forward errors of the ⟨2,2,2;7⟩ family
+// against the quad-precision classical reference and compare with the
+// theoretical error bounds — a miniature of the paper's Figure 2(C)/(D)
+// experiment.
+//
+//	go run ./examples/stability
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"text/tabwriter"
+
+	"abmm"
+)
+
+func main() {
+	const (
+		n      = 512
+		levels = 3
+		runs   = 5
+	)
+	algs := []string{"classical", "strassen", "winograd", "alt-winograd", "ours"}
+
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "algorithm\tE\terror U(-1,1)\terror U(0,1)\tbound f(n)·ε")
+	for _, name := range algs {
+		alg, err := abmm.Lookup(name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		l := levels
+		if name == "classical" {
+			l = 0
+		}
+		eSym := abmm.MeasureMaxError(alg, n, l, runs, abmm.DistSymmetric, 1, 0)
+		ePos := abmm.MeasureMaxError(alg, n, l, runs, abmm.DistPositive, 1, 0)
+		info := abmm.InfoFor(alg)
+		fmt.Fprintf(w, "%s\t%.0f\t%.3e\t%.3e\t%.3e\n",
+			name, info.StabilityFactor, eSym, ePos, abmm.ErrorBound(alg, n)*0x1p-53)
+	}
+	w.Flush()
+	fmt.Println("\nExpected pattern (paper Fig. 2): on U(-1,1) the E=12 algorithms")
+	fmt.Println("(strassen, ours) are the most accurate fast algorithms; on U(0,1)")
+	fmt.Println("errors track operator sparsity instead and winograd leads.")
+}

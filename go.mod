@@ -1,0 +1,3 @@
+module abmm
+
+go 1.22

@@ -1,0 +1,71 @@
+package algos
+
+import "abmm/internal/exact"
+
+// Block vectorization convention: A blocks are ordered A11, A12, A21,
+// A22 (row-major), likewise B and C. Operator columns index the
+// products M1..MR.
+
+// Strassen returns Strassen's original ⟨2,2,2;7⟩-algorithm:
+//
+//	M1=(A11+A22)(B11+B22), M2=(A21+A22)B11, M3=A11(B12−B22),
+//	M4=A22(B21−B11),       M5=(A11+A12)B22, M6=(A21−A11)(B11+B12),
+//	M7=(A12−A22)(B21+B22);
+//	C11=M1+M4−M5+M7, C12=M3+M5, C21=M2+M4, C22=M1−M2+M3+M6.
+//
+// Its stability factor is 12 (the optimum for the class) and its
+// scheduled arithmetic cost is 18 additions per step (leading
+// coefficient 7).
+func Strassen() *Algorithm {
+	u := exact.FromRows([][]int64{
+		{1, 0, 1, 0, 1, -1, 0},
+		{0, 0, 0, 0, 1, 0, 1},
+		{0, 1, 0, 0, 0, 1, 0},
+		{1, 1, 0, 1, 0, 0, -1},
+	})
+	v := exact.FromRows([][]int64{
+		{1, 1, 0, -1, 0, 1, 0},
+		{0, 0, 1, 0, 0, 1, 0},
+		{0, 0, 0, 1, 0, 0, 1},
+		{1, 0, -1, 0, 1, 0, 1},
+	})
+	w := exact.FromRows([][]int64{
+		{1, 0, 0, 1, -1, 0, 1},
+		{0, 0, 1, 0, 1, 0, 0},
+		{0, 1, 0, 1, 0, 0, 0},
+		{1, -1, 1, 0, 0, 1, 0},
+	})
+	return standard("strassen", 2, 2, 2, u, v, w)
+}
+
+// Winograd returns the Strassen–Winograd ⟨2,2,2;7⟩ variant, whose
+// shared-subexpression schedule needs only 15 additions per step
+// (leading coefficient 6, the optimum for standard-basis algorithms)
+// at the price of stability factor 18:
+//
+//	S1=A21+A22, S2=S1−A11, S3=A11−A21, S4=A12−S2,
+//	T1=B12−B11, T2=B22−T1, T3=B22−B12, T4=T2−B21,
+//	M1=A11·B11, M2=A12·B21, M3=S4·B22, M4=A22·T4,
+//	M5=S1·T1, M6=S2·T2, M7=S3·T3,
+//	C11=M1+M2, C12=M1+M3+M5+M6, C21=M1−M4+M6+M7, C22=M1+M5+M6+M7.
+func Winograd() *Algorithm {
+	u := exact.FromRows([][]int64{
+		{1, 0, 1, 0, 0, -1, 1},
+		{0, 1, 1, 0, 0, 0, 0},
+		{0, 0, -1, 0, 1, 1, -1},
+		{0, 0, -1, 1, 1, 1, 0},
+	})
+	v := exact.FromRows([][]int64{
+		{1, 0, 0, 1, -1, 1, 0},
+		{0, 0, 0, -1, 1, -1, -1},
+		{0, 1, 0, -1, 0, 0, 0},
+		{0, 0, 1, 1, 0, 1, 1},
+	})
+	w := exact.FromRows([][]int64{
+		{1, 1, 0, 0, 0, 0, 0},
+		{1, 0, 1, 0, 1, 1, 0},
+		{1, 0, 0, -1, 0, 1, 1},
+		{1, 0, 0, 0, 1, 1, 1},
+	})
+	return standard("winograd", 2, 2, 2, u, v, w)
+}

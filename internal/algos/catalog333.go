@@ -1,0 +1,108 @@
+package algos
+
+import "abmm/internal/exact"
+
+// ladermanProducts lists Laderman's ⟨3,3,3;23⟩ algorithm (Laderman,
+// 1976) as (A-combination, B-combination) pairs over the row-major
+// vectorized blocks a11..a33 / b11..b33, followed by the C
+// decompositions. The triple is machine-verified against the Brent
+// equations in tests; see TestLadermanValidates.
+var ladermanU = [][]int64{
+	// columns m1..m23, rows a11,a12,a13,a21,a22,a23,a31,a32,a33
+	//        m1  m2  m3  m4  m5  m6  m7  m8  m9 m10 m11 m12 m13 m14 m15 m16 m17 m18 m19 m20 m21 m22 m23
+	/*a11*/ {1, 1, 0, -1, 0, 1, -1, -1, 0, 1, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0},
+	/*a12*/ {1, 0, 0, 0, 0, 0, 0, 0, 0, 1, 0, 0, 0, 0, 0, 0, 0, 0, 1, 0, 0, 0, 0},
+	/*a13*/ {1, 0, 0, 0, 0, 0, 0, 0, 0, 1, 0, -1, 1, 1, 0, -1, 1, 0, 0, 0, 0, 0, 0},
+	/*a21*/ {-1, -1, 0, 1, 1, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 1, 0, 0},
+	/*a22*/ {-1, 0, 1, 1, 1, 0, 0, 0, 0, -1, 0, 0, 0, 0, 0, 1, 0, 1, 0, 0, 0, 0, 0},
+	/*a23*/ {0, 0, 0, 0, 0, 0, 0, 0, 0, -1, 0, 0, 0, 0, 0, 1, -1, 1, 0, 1, 0, 0, 0},
+	/*a31*/ {0, 0, 0, 0, 0, 0, 1, 1, 1, -1, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 1, 0},
+	/*a32*/ {-1, 0, 0, 0, 0, 0, 1, 0, 1, -1, 1, 1, 0, 0, 1, 0, 0, 0, 0, 0, 0, 0, 0},
+	/*a33*/ {-1, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 1, -1, 0, 1, 0, 0, 0, 0, 0, 0, 0, 1},
+}
+
+var ladermanV = [][]int64{
+	// rows b11,b12,b13,b21,b22,b23,b31,b32,b33
+	/*b11*/ {0, 0, -1, 1, -1, 1, 1, 0, -1, 0, -1, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0},
+	/*b12*/ {0, -1, 1, -1, 1, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 1, 0},
+	/*b13*/ {0, 0, 0, 0, 0, 0, -1, 1, 1, 0, 1, 0, 0, 0, 0, 0, 0, 0, 0, 0, 1, 0, 0},
+	/*b21*/ {0, 0, 1, 0, 0, 0, 0, 0, 0, 0, 1, 0, 0, 0, 0, 0, 0, 0, 1, 0, 0, 0, 0},
+	/*b22*/ {1, 1, -1, 1, 0, 0, 0, 0, 0, 0, -1, 1, 1, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0},
+	/*b23*/ {0, 0, -1, 0, 0, 0, 1, -1, 0, 1, -1, 0, 0, 0, 0, 1, 1, 0, 0, 0, 0, 0, 0},
+	/*b31*/ {0, 0, -1, 0, 0, 0, 0, 0, 0, 0, -1, 1, 0, 1, -1, 1, 0, -1, 0, 0, 0, 0, 0},
+	/*b32*/ {0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 1, -1, -1, 0, 1, 0, 0, 0, 0, 1, 0, 0, 0},
+	/*b33*/ {0, 0, 1, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, -1, -1, 1, 0, 0, 0, 0, 1},
+}
+
+var ladermanW = [][]int64{
+	// rows c11,c12,c13,c21,c22,c23,c31,c32,c33; columns m1..m23
+	/*c11*/ {0, 0, 0, 0, 0, 1, 0, 0, 0, 0, 0, 0, 0, 1, 0, 0, 0, 0, 1, 0, 0, 0, 0},
+	/*c12*/ {1, 0, 0, 1, 1, 1, 0, 0, 0, 0, 0, 1, 0, 1, 1, 0, 0, 0, 0, 0, 0, 0, 0},
+	/*c13*/ {0, 0, 0, 0, 0, 1, 1, 0, 1, 1, 0, 0, 0, 1, 0, 1, 0, 1, 0, 0, 0, 0, 0},
+	/*c21*/ {0, 1, 1, 1, 0, 1, 0, 0, 0, 0, 0, 0, 0, 1, 0, 1, 1, 0, 0, 0, 0, 0, 0},
+	/*c22*/ {0, 1, 0, 1, 1, 1, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 1, 0, 0, 0},
+	/*c23*/ {0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 1, 0, 1, 1, 1, 0, 0, 1, 0, 0},
+	/*c31*/ {0, 0, 0, 0, 0, 1, 1, 1, 0, 0, 1, 1, 1, 1, 0, 0, 0, 0, 0, 0, 0, 0, 0},
+	/*c32*/ {0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 1, 1, 1, 1, 0, 0, 0, 0, 0, 0, 1, 0},
+	/*c33*/ {0, 0, 0, 0, 0, 1, 1, 1, 1, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 1},
+}
+
+// Laderman returns Laderman's ⟨3,3,3;23⟩-algorithm, the classic fast
+// 3×3 base case (23 multiplications instead of 27). It anchors the
+// ⟨3,3,3⟩ experiment family of Figures 1 and 3; its orbit and
+// decompositions generate the algorithm variants those figures compare.
+func Laderman() *Algorithm {
+	return standard("laderman", 3, 3, 3,
+		exact.FromRows(ladermanU),
+		exact.FromRows(ladermanV),
+		exact.FromRows(ladermanW))
+}
+
+// LadermanAlt returns an alternative basis version of Laderman's
+// algorithm found by this repository's sparsification search
+// (cmd/sparsify): the bilinear phase drops from 98 to 74 additions
+// while the standard-basis representation — hence the stability factor
+// E = 35 — is unchanged, the Section IV-B "speeding up a stable
+// algorithm" workflow applied to the ⟨3,3,3;23⟩ class (Figure 1's full
+// markers). The three transformations cost 24 additions per step in
+// total.
+func LadermanAlt() *Algorithm {
+	phi := exact.FromRows([][]int64{
+		{1, 0, 0, -1, -1, 0, 0, 0, 0},
+		{0, 1, 0, 0, 0, 0, 0, 0, 0},
+		{0, 0, 1, 0, 0, 1, 0, 0, -1},
+		{0, 0, 0, 0, 1, 0, 0, 0, 0},
+		{0, 0, -1, 0, 1, 0, -1, 0, 0},
+		{0, 0, -1, 0, 0, 0, 0, 0, 0},
+		{-1, 0, 0, 0, 0, 0, 0, 0, 0},
+		{-1, 0, 0, 0, 0, 0, 0, 1, 1},
+		{0, 0, 0, 0, 0, 0, 0, 0, 1},
+	})
+	psi := exact.FromRows([][]int64{
+		{0, -1, -1, 0, -1, 0, 0, 0, 0},
+		{0, 1, 0, 0, 0, 0, 0, 0, 0},
+		{0, 0, 1, 0, 0, 0, 0, 0, 0},
+		{0, 0, 0, 1, 0, 0, 0, 0, 0},
+		{1, -1, 0, 0, 0, 0, 1, 0, 0},
+		{0, 0, -1, 0, 0, 1, 0, 0, 1},
+		{0, 0, 0, 0, 0, 1, 1, 1, 0},
+		{0, 0, 0, 0, 0, 0, -1, 0, 0},
+		{0, 0, 0, 0, 0, -1, 0, 0, 0},
+	})
+	nu := exact.FromRows([][]int64{
+		{0, 0, 0, 0, 0, 0, 0, -1, 0},
+		{1, 1, 0, 0, 1, 0, 0, 0, 0},
+		{0, 0, 1, 0, 0, 1, 0, 0, 1},
+		{0, 0, 0, 1, 1, 1, 0, 0, 0},
+		{0, 0, 0, 0, 1, 0, 0, 0, 0},
+		{0, 0, 0, 0, 0, 1, 0, 0, 0},
+		{1, 0, 0, 0, 0, 0, 1, 0, 1},
+		{1, 0, 0, 0, 0, 0, 0, 0, 0},
+		{0, 0, 0, 0, 0, 0, 0, 0, 1},
+	})
+	alg, err := AltBasis("laderman-alt", Laderman(), phi, psi, nu)
+	if err != nil {
+		panic(err)
+	}
+	return alg
+}

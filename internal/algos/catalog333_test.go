@@ -1,0 +1,119 @@
+package algos_test
+
+import (
+	"testing"
+
+	"abmm/internal/algos"
+	"abmm/internal/exact"
+	"abmm/internal/stability"
+)
+
+func TestLadermanValidates(t *testing.T) {
+	lad := algos.Laderman()
+	if err := lad.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if lad.Spec.R != 23 {
+		t.Fatalf("R = %d", lad.Spec.R)
+	}
+	u, v, w := lad.StandardUVW()
+	if u.NNZ() != 51 || v.NNZ() != 51 || w.NNZ() != 51 {
+		t.Errorf("nnz = %d/%d/%d, want 51/51/51", u.NNZ(), v.NNZ(), w.NNZ())
+	}
+}
+
+func TestLadermanStabilityFactor(t *testing.T) {
+	e := stability.FactorFloat(algos.Laderman())
+	// Laderman's stability factor is large relative to Strassen's; it
+	// must exceed the classical factor 3 and stay finite/sane.
+	if e < 3 || e > 1000 {
+		t.Fatalf("E = %g out of plausible range", e)
+	}
+	t.Logf("Laderman stability factor E = %g", e)
+}
+
+func TestHigherDimDecomposition(t *testing.T) {
+	for _, dims := range []int{1, 3, 0} {
+		hd, err := algos.HigherDim(algos.Laderman(), dims)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := hd.Validate(); err != nil {
+			t.Fatalf("maxDims=%d: %v", dims, err)
+		}
+		if hd.Spec.TotalAdditions() >= algos.Laderman().Spec.TotalAdditions() {
+			t.Errorf("maxDims=%d: decomposition did not reduce additions (%d vs %d)",
+				dims, hd.Spec.TotalAdditions(), algos.Laderman().Spec.TotalAdditions())
+		}
+		if stability.FactorFloat(hd) != stability.FactorFloat(algos.Laderman()) {
+			t.Errorf("maxDims=%d: stability factor changed", dims)
+		}
+	}
+}
+
+func TestHigherDimGrowsDims(t *testing.T) {
+	// Winograd's operators share subexpressions (S1 = A21+A22 feeds
+	// three products), so full hoisting must enlarge the dimensions.
+	hd, err := algos.HigherDim(algos.Winograd(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hd.Spec.DU() <= 4 && hd.Spec.DV() <= 4 && hd.Spec.DW() <= 4 {
+		t.Error("full hoisting should enlarge at least one dimension for Winograd")
+	}
+	if err := hd.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Strassen has no shareable pairs: decomposition must be a no-op.
+	sd, err := algos.HigherDim(algos.Strassen(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sd.Spec.DU() != 4 || sd.Spec.DV() != 4 || sd.Spec.DW() != 4 {
+		t.Error("Strassen decomposition should add no dimensions")
+	}
+}
+
+func TestOrbitFamilyValidatesAndVaries(t *testing.T) {
+	fam := algos.OrbitFamily(algos.Laderman(), 8, 42)
+	if len(fam) != 8 {
+		t.Fatalf("family size %d", len(fam))
+	}
+	factors := map[string]bool{}
+	for _, alg := range fam {
+		if err := alg.Validate(); err != nil {
+			t.Fatalf("%s: %v", alg.Name, err)
+		}
+		factors[stability.Factor(alg).RatString()] = true
+	}
+	if len(factors) < 2 {
+		t.Error("orbit family shows no stability-factor variation")
+	}
+}
+
+func TestSigmaSymmetryOfLaderman(t *testing.T) {
+	// The involution that pairs Laderman's products: A rows 2↔3,
+	// B columns 2↔3, C conjugated. Verified as an Orbit element with
+	// permutation matrices, it must map the algorithm to a valid one.
+	p := exact.FromRows([][]int64{{1, 0, 0}, {0, 0, 1}, {0, 1, 0}})
+	alg, err := algos.Orbit(algos.Laderman(), p, exact.Identity(3), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := alg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLadermanAltProfile(t *testing.T) {
+	alt := algos.LadermanAlt()
+	if err := alt.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := alt.Spec.TotalAdditions(); got != 74 {
+		t.Errorf("bilinear additions = %d, want 74", got)
+	}
+	if stability.Factor(alt).Cmp(stability.Factor(algos.Laderman())) != 0 {
+		t.Error("stability factor changed under basis change")
+	}
+}

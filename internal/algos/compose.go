@@ -1,0 +1,164 @@
+package algos
+
+import (
+	"fmt"
+
+	"abmm/internal/exact"
+)
+
+// Partition composition builds algorithms for larger base cases by
+// splitting one dimension and running two sub-algorithms on the parts:
+//
+//   - ComposeRows splits M: A = [A₁; A₂] row blocks, C = [C₁; C₂];
+//     the product sets are disjoint unions.
+//   - ComposeCols splits N: B = [B₁ B₂] column blocks, C = [C₁ C₂].
+//   - ComposeInner splits K: A = [A₁ A₂], B = [B₁; B₂], and
+//     C = A₁B₁ + A₂B₂, so the decodings add.
+//
+// Composing Strassen ⟨2,2,2;7⟩ with classical pieces yields genuinely
+// sub-classical rectangular algorithms, e.g. ⟨2,2,3;11⟩ (matching the
+// Hopcroft–Kerr rank) and ⟨3,2,3;17⟩ (classical needs 18) — this
+// library's stand-ins for the published rectangular algorithms whose
+// coefficient tables are unavailable offline (DESIGN.md §4).
+
+// ComposeRows builds the ⟨Ma+Mb, K, N; Ra+Rb⟩ algorithm running a on
+// the top Ma block rows of A and b on the bottom Mb. Both factors must
+// be standard-basis and agree on K₀ and N₀.
+func ComposeRows(a, b *Algorithm) (*Algorithm, error) {
+	sa, sb := a.Spec, b.Spec
+	if a.IsAltBasis() || b.IsAltBasis() {
+		return nil, fmt.Errorf("algos: partition composition needs standard-basis factors")
+	}
+	if sa.K0 != sb.K0 || sa.N0 != sb.N0 {
+		return nil, fmt.Errorf("algos: ComposeRows needs matching K₀,N₀: ⟨%d,%d⟩ vs ⟨%d,%d⟩", sa.K0, sa.N0, sb.K0, sb.N0)
+	}
+	m0, k0, n0 := sa.M0+sb.M0, sa.K0, sa.N0
+	r := sa.R + sb.R
+	u := exact.New(m0*k0, r)
+	v := exact.New(k0*n0, r)
+	w := exact.New(m0*n0, r)
+	// a's blocks occupy A rows 0..Ma-1 and C rows 0..Ma-1; b's blocks
+	// are offset below them. B is shared.
+	copyOffset(u, sa.U, 0, 0)
+	copyOffset(u, sb.U, sa.M0*k0, sa.R)
+	copyOffset(v, sa.V, 0, 0)
+	copyOffset(v, sb.V, 0, sa.R)
+	copyOffset(w, sa.W, 0, 0)
+	copyOffset(w, sb.W, sa.M0*n0, sa.R)
+	name := fmt.Sprintf("(%s)⊕rows(%s)", a.Name, b.Name)
+	return standard(name, m0, k0, n0, u, v, w), nil
+}
+
+// ComposeCols builds the ⟨M, K, Na+Nb; Ra+Rb⟩ algorithm running a on
+// the left Na block columns of B and b on the right Nb. Both factors
+// must be standard-basis and agree on M₀ and K₀.
+func ComposeCols(a, b *Algorithm) (*Algorithm, error) {
+	sa, sb := a.Spec, b.Spec
+	if a.IsAltBasis() || b.IsAltBasis() {
+		return nil, fmt.Errorf("algos: partition composition needs standard-basis factors")
+	}
+	if sa.M0 != sb.M0 || sa.K0 != sb.K0 {
+		return nil, fmt.Errorf("algos: ComposeCols needs matching M₀,K₀")
+	}
+	m0, k0 := sa.M0, sa.K0
+	n0 := sa.N0 + sb.N0
+	r := sa.R + sb.R
+	u := exact.New(m0*k0, r)
+	v := exact.New(k0*n0, r)
+	w := exact.New(m0*n0, r)
+	copyOffset(u, sa.U, 0, 0)
+	copyOffset(u, sb.U, 0, sa.R)
+	// B and C columns interleave: row-major vectorization puts block
+	// (k, j) at k·n0+j, with a's columns first in each block row.
+	copyStrided(v, sa.V, sa.N0, n0, 0, 0)
+	copyStrided(v, sb.V, sb.N0, n0, sa.N0, sa.R)
+	copyStrided(w, sa.W, sa.N0, n0, 0, 0)
+	copyStrided(w, sb.W, sb.N0, n0, sa.N0, sa.R)
+	name := fmt.Sprintf("(%s)⊕cols(%s)", a.Name, b.Name)
+	return standard(name, m0, k0, n0, u, v, w), nil
+}
+
+// ComposeInner builds the ⟨M, Ka+Kb, N; Ra+Rb⟩ algorithm splitting the
+// shared dimension: C = A₁·B₁ + A₂·B₂ with a computing the first term
+// and b the second. Both factors must be standard-basis and agree on M₀
+// and N₀.
+func ComposeInner(a, b *Algorithm) (*Algorithm, error) {
+	sa, sb := a.Spec, b.Spec
+	if a.IsAltBasis() || b.IsAltBasis() {
+		return nil, fmt.Errorf("algos: partition composition needs standard-basis factors")
+	}
+	if sa.M0 != sb.M0 || sa.N0 != sb.N0 {
+		return nil, fmt.Errorf("algos: ComposeInner needs matching M₀,N₀")
+	}
+	m0, n0 := sa.M0, sa.N0
+	k0 := sa.K0 + sb.K0
+	r := sa.R + sb.R
+	u := exact.New(m0*k0, r)
+	v := exact.New(k0*n0, r)
+	w := exact.New(m0*n0, r)
+	// A columns interleave ((m,k) ↦ m·k0+k); B rows stack.
+	copyStrided(u, sa.U, sa.K0, k0, 0, 0)
+	copyStrided(u, sb.U, sb.K0, k0, sa.K0, sa.R)
+	copyOffset(v, sa.V, 0, 0)
+	copyOffset(v, sb.V, sa.K0*n0, sa.R)
+	// Decodings add: both contribute to the same C blocks.
+	copyOffset(w, sa.W, 0, 0)
+	copyOffset(w, sb.W, 0, sa.R)
+	name := fmt.Sprintf("(%s)⊕inner(%s)", a.Name, b.Name)
+	return standard(name, m0, k0, n0, u, v, w), nil
+}
+
+// copyOffset copies src into dst at the given row/column offset.
+func copyOffset(dst, src *exact.Matrix, rowOff, colOff int) {
+	for i := 0; i < src.Rows; i++ {
+		for j := 0; j < src.Cols; j++ {
+			if src.At(i, j).Sign() != 0 {
+				dst.Set(rowOff+i, colOff+j, src.At(i, j))
+			}
+		}
+	}
+}
+
+// copyStrided copies src, whose rows are grouped in blocks of
+// srcGroup consecutive rows, into dst whose corresponding groups span
+// dstGroup rows, placing each source group at offset `off` within its
+// destination group, with products at column offset colOff. It
+// re-indexes row-major vectorizations when an inner dimension grows.
+func copyStrided(dst, src *exact.Matrix, srcGroup, dstGroup, off, colOff int) {
+	for i := 0; i < src.Rows; i++ {
+		outer := i / srcGroup
+		inner := i % srcGroup
+		di := outer*dstGroup + off + inner
+		for j := 0; j < src.Cols; j++ {
+			if src.At(i, j).Sign() != 0 {
+				dst.Set(di, colOff+j, src.At(i, j))
+			}
+		}
+	}
+}
+
+// HopcroftKerr223 returns a ⟨2,2,3;11⟩-algorithm built by column
+// composition of Strassen's algorithm with the classical ⟨2,2,1;4⟩:
+// 11 products matches the Hopcroft–Kerr rank of ⟨2,2,3⟩ (classical
+// needs 12).
+func HopcroftKerr223() *Algorithm {
+	alg, err := ComposeCols(Strassen(), Classical(2, 2, 1))
+	if err != nil {
+		panic(err)
+	}
+	alg.Name = "hk223"
+	return alg
+}
+
+// Rect323 returns a ⟨3,2,3;17⟩-algorithm built by row composition of
+// the ⟨2,2,3;11⟩ algorithm with the classical ⟨1,2,3;6⟩ (classical
+// ⟨3,2,3⟩ needs 18 products). It is this library's stand-in for the
+// paper's ⟨3,2,3;15⟩ row of Table II.
+func Rect323() *Algorithm {
+	alg, err := ComposeRows(HopcroftKerr223(), Classical(1, 2, 3))
+	if err != nil {
+		panic(err)
+	}
+	alg.Name = "rect323"
+	return alg
+}

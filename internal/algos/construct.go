@@ -1,0 +1,173 @@
+package algos
+
+import (
+	"fmt"
+
+	"abmm/internal/basis"
+	"abmm/internal/bilinear"
+	"abmm/internal/exact"
+)
+
+// Classical returns the classical ⟨m0,k0,n0; m0·k0·n0⟩ algorithm as a
+// recursive bilinear algorithm: one product a_{mk}·b_{kj} per scalar
+// multiplication. It is the R = m0k0n0 baseline every fast algorithm is
+// compared against and the reference point of the error analysis.
+func Classical(m0, k0, n0 int) *Algorithm {
+	r := m0 * k0 * n0
+	u, v, w := exact.New(m0*k0, r), exact.New(k0*n0, r), exact.New(m0*n0, r)
+	idx := 0
+	for m := 0; m < m0; m++ {
+		for k := 0; k < k0; k++ {
+			for j := 0; j < n0; j++ {
+				u.SetInt(m*k0+k, idx, 1)
+				v.SetInt(k*n0+j, idx, 1)
+				w.SetInt(m*n0+j, idx, 1)
+				idx++
+			}
+		}
+	}
+	return standard(fmt.Sprintf("classical-%d%d%d", m0, k0, n0), m0, k0, n0, u, v, w)
+}
+
+// Kronecker composes two algorithms into the tensor-product algorithm
+// ⟨m0·m0', k0·k0', n0·n0'; R·R'⟩ whose operators are the Kronecker
+// products of the factors' operators. Composition is how larger base
+// cases are built from smaller ones (e.g. ⟨4,4,2;28⟩ = ⟨2,2,2;7⟩ ⊗
+// ⟨2,2,1;4⟩). Both factors must be standard-basis algorithms.
+func Kronecker(a, b *Algorithm) (*Algorithm, error) {
+	if a.IsAltBasis() || b.IsAltBasis() {
+		return nil, fmt.Errorf("algos: Kronecker composition needs standard-basis factors")
+	}
+	// The Kronecker product of the operators indexes rows by the pair
+	// (block of factor a, block of factor b) = (m,k,m',k'), while the
+	// composed algorithm's row-major vectorization interleaves the
+	// dimensions as (m,m',k,k'). A perfect-shuffle permutation aligns
+	// them.
+	name := fmt.Sprintf("(%s)⊗(%s)", a.Name, b.Name)
+	sa, sb := a.Spec, b.Spec
+	u := exact.Mul(shuffle(sa.M0, sa.K0, sb.M0, sb.K0), exact.Kronecker(sa.U, sb.U))
+	v := exact.Mul(shuffle(sa.K0, sa.N0, sb.K0, sb.N0), exact.Kronecker(sa.V, sb.V))
+	w := exact.Mul(shuffle(sa.M0, sa.N0, sb.M0, sb.N0), exact.Kronecker(sa.W, sb.W))
+	return standard(name, sa.M0*sb.M0, sa.K0*sb.K0, sa.N0*sb.N0, u, v, w), nil
+}
+
+// shuffle builds the permutation that maps the Kronecker row index
+// ((r·c1+c)·r2·c2 + r'·c2+c') of two vectorized r1×c1 and r2×c2 block
+// grids to the row-major vectorization ((r·r2+r')·c1·c2 + c·c2+c') of
+// the composed (r1·r2)×(c1·c2) grid.
+func shuffle(r1, c1, r2, c2 int) *exact.Matrix {
+	n := r1 * c1 * r2 * c2
+	p := exact.New(n, n)
+	for r := 0; r < r1; r++ {
+		for c := 0; c < c1; c++ {
+			for rp := 0; rp < r2; rp++ {
+				for cp := 0; cp < c2; cp++ {
+					src := (r*c1+c)*r2*c2 + rp*c2 + cp
+					dst := (r*r2+rp)*c1*c2 + c*c2 + cp
+					p.SetInt(dst, src, 1)
+				}
+			}
+		}
+	}
+	return p
+}
+
+// Orbit applies the isotropy-group action (Claim II.3) with invertible
+// matrices P (M₀×M₀), Q (K₀×K₀) and R (N₀×N₀): substituting A→PAQ⁻¹,
+// B→QBR⁻¹ and undoing C→PCR⁻¹ yields another ⟨M₀,K₀,N₀;R⟩-algorithm
+// with (generally) different addition counts and stability vector:
+//
+//	U' = (Pᵀ⊗Q⁻¹)U,  V' = (Qᵀ⊗R⁻¹)V,  W' = (P⁻¹⊗Rᵀ)W.
+//
+// Every ⟨2,2,2;7⟩-algorithm arises this way from Strassen's, which is
+// how Section IV-A traverses stability classes.
+func Orbit(alg *Algorithm, p, q, r *exact.Matrix) (*Algorithm, error) {
+	if alg.IsAltBasis() {
+		return nil, fmt.Errorf("algos: Orbit acts on standard-basis algorithms; take StandardUVW first")
+	}
+	s := alg.Spec
+	if p.Rows != s.M0 || p.Cols != s.M0 || q.Rows != s.K0 || q.Cols != s.K0 || r.Rows != s.N0 || r.Cols != s.N0 {
+		return nil, fmt.Errorf("algos: orbit matrices must be %dx%d, %dx%d, %dx%d", s.M0, s.M0, s.K0, s.K0, s.N0, s.N0)
+	}
+	pi, err := p.Inverse()
+	if err != nil {
+		return nil, fmt.Errorf("algos: P: %w", err)
+	}
+	qi, err := q.Inverse()
+	if err != nil {
+		return nil, fmt.Errorf("algos: Q: %w", err)
+	}
+	ri, err := r.Inverse()
+	if err != nil {
+		return nil, fmt.Errorf("algos: R: %w", err)
+	}
+	u := exact.Mul(exact.Kronecker(p.Transpose(), qi), s.U)
+	v := exact.Mul(exact.Kronecker(q.Transpose(), ri), s.V)
+	w := exact.Mul(exact.Kronecker(pi, r.Transpose()), s.W)
+	return standard(alg.Name+"-orbit", s.M0, s.K0, s.N0, u, v, w), nil
+}
+
+// AltBasis derives the alternative basis version of a standard-basis
+// algorithm from square invertible basis transformations φ, ψ, ν
+// (each M₀K₀×M₀K₀ etc.): the bilinear operators become U_φ = φ⁻¹U,
+// V_ψ = ψ⁻¹V, W_ν = ν⁻¹W, so the standard-basis representation — and
+// with it the stability vector (Corollary III.9) — is unchanged, while
+// the bilinear phase additions typically drop.
+func AltBasis(name string, base *Algorithm, phi, psi, nu *exact.Matrix) (*Algorithm, error) {
+	if base.IsAltBasis() {
+		return nil, fmt.Errorf("algos: AltBasis needs a standard-basis base algorithm")
+	}
+	s := base.Spec
+	phiInv, err := phi.Inverse()
+	if err != nil {
+		return nil, fmt.Errorf("algos: φ: %w", err)
+	}
+	psiInv, err := psi.Inverse()
+	if err != nil {
+		return nil, fmt.Errorf("algos: ψ: %w", err)
+	}
+	nuInv, err := nu.Inverse()
+	if err != nil {
+		return nil, fmt.Errorf("algos: ν: %w", err)
+	}
+	uPhi := exact.Mul(phiInv, s.U)
+	vPsi := exact.Mul(psiInv, s.V)
+	wNu := exact.Mul(nuInv, s.W)
+	spec, err := bilinear.NewSpec(name, s.M0, s.K0, s.N0, uPhi, vPsi, wNu)
+	if err != nil {
+		return nil, err
+	}
+	return &Algorithm{
+		Name: name,
+		Spec: spec,
+		Phi:  basis.New(name+"-φ", phi),
+		Psi:  basis.New(name+"-ψ", psi),
+		Nu:   basis.New(name+"-ν", nu),
+	}, nil
+}
+
+// FullDecomposition returns the fully decomposed version of a
+// standard-basis algorithm in the Beniamini–Schwartz framework: all
+// linear work moves into the basis transformations (φ = U, ψ = V,
+// ν = W, each mapping into R dimensions) and the bilinear phase becomes
+// the identity on R-dimensional operands. The standard-basis
+// representation — hence the stability factor — is unchanged, but the
+// prefactor grows, which Figure 3 measures.
+func FullDecomposition(base *Algorithm) (*Algorithm, error) {
+	if base.IsAltBasis() {
+		return nil, fmt.Errorf("algos: FullDecomposition needs a standard-basis base")
+	}
+	s := base.Spec
+	id := exact.Identity(s.R)
+	spec, err := bilinear.NewSpec(base.Name+"-fulldec", s.M0, s.K0, s.N0, id, id, id)
+	if err != nil {
+		return nil, err
+	}
+	return &Algorithm{
+		Name: base.Name + "-fulldec",
+		Spec: spec,
+		Phi:  basis.New(base.Name+"-φ=U", s.U.Clone()),
+		Psi:  basis.New(base.Name+"-ψ=V", s.V.Clone()),
+		Nu:   basis.New(base.Name+"-ν=W", s.W.Clone()),
+	}, nil
+}

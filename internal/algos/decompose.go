@@ -1,0 +1,85 @@
+package algos
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"abmm/internal/basis"
+	"abmm/internal/bilinear"
+	"abmm/internal/exact"
+	"abmm/internal/schedule"
+)
+
+// HigherDim returns the higher-dimension decomposed version of a
+// standard-basis algorithm in the Beniamini–Schwartz framework: common
+// subexpressions of each operator are hoisted into extra basis
+// dimensions (D_U, D_V, D_W grow beyond the block counts), shrinking
+// the bilinear phase while preserving the standard-basis representation
+// and hence the stability factor. maxDims bounds the number of added
+// dimensions per operator (0 = hoist everything shareable); small
+// values interpolate between the standard algorithm and the aggressive
+// decompositions Figure 3 compares.
+func HigherDim(base *Algorithm, maxDims int) (*Algorithm, error) {
+	if base.IsAltBasis() {
+		return nil, fmt.Errorf("algos: HigherDim needs a standard-basis base")
+	}
+	s := base.Spec
+	phi, uPhi := schedule.Decompose(s.U, maxDims)
+	psi, vPsi := schedule.Decompose(s.V, maxDims)
+	nu, wNu := schedule.Decompose(s.W, maxDims)
+	name := fmt.Sprintf("%s-hidim%d", base.Name, maxDims)
+	spec, err := bilinear.NewSpec(name, s.M0, s.K0, s.N0, uPhi, vPsi, wNu)
+	if err != nil {
+		return nil, err
+	}
+	return &Algorithm{
+		Name: name,
+		Spec: spec,
+		Phi:  basis.New(name+"-φ", phi),
+		Psi:  basis.New(name+"-ψ", psi),
+		Nu:   basis.New(name+"-ν", nu),
+	}, nil
+}
+
+// OrbitFamily generates a family of algorithms in the isotropy orbit of
+// base using random unimodular matrices with small integer entries. The
+// family members share the base case and product count but differ in
+// addition counts and stability vectors, which is how the Figure 1
+// scatter of ⟨3,3,3;23⟩ algorithms is populated.
+func OrbitFamily(base *Algorithm, count int, seed uint64) []*Algorithm {
+	rng := rand.New(rand.NewPCG(seed, seed^0x5bd1e995))
+	s := base.Spec
+	out := make([]*Algorithm, 0, count)
+	for len(out) < count {
+		p := randUnimodular(rng, s.M0)
+		q := randUnimodular(rng, s.K0)
+		r := randUnimodular(rng, s.N0)
+		alg, err := Orbit(base, p, q, r)
+		if err != nil {
+			continue
+		}
+		alg.Name = fmt.Sprintf("%s-orbit%d", base.Name, len(out))
+		out = append(out, alg)
+	}
+	return out
+}
+
+// randUnimodular returns a product of a few random elementary matrices:
+// determinant ±1, integer entries, integer inverse, so orbit transforms
+// stay dyadic.
+func randUnimodular(rng *rand.Rand, n int) *exact.Matrix {
+	m := exact.Identity(n)
+	steps := rng.IntN(3) + 1
+	for s := 0; s < steps; s++ {
+		e := exact.Identity(n)
+		i, j := rng.IntN(n), rng.IntN(n)
+		if i == j {
+			// Row negation keeps |det| = 1.
+			e.SetInt(i, i, -1)
+		} else {
+			e.SetInt(i, j, int64(rng.IntN(3)-1))
+		}
+		m = exact.Mul(m, e)
+	}
+	return m
+}

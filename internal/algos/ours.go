@@ -1,0 +1,185 @@
+package algos
+
+import (
+	"abmm/internal/basis"
+	"abmm/internal/exact"
+)
+
+// This file holds the alternative basis ⟨2,2,2;7⟩ algorithms of
+// Section IV and Table I. The basis transformation matrices below were
+// found by this repository's own search (internal/sparsify, run via
+// cmd/sparsify); tests re-verify all the properties claimed in the
+// comments from the exact coefficient data, and the sparsify tests
+// re-discover decompositions of the same quality from scratch.
+
+// Ours returns the paper's fast-and-stable ⟨2,2,2;7⟩ algorithm profile:
+// an alternative basis version of Strassen's algorithm with
+//
+//   - 12 additions in the bilinear phase → arithmetic-cost leading
+//     coefficient 5 (optimal for a 2×2 base case, Karstadt–Schwartz
+//     lower bound), and
+//   - stability factor E = 12 (optimal for the class; the standard
+//     basis representation is exactly Strassen's algorithm), with
+//   - 9 additions across the three basis transformations, i.e. a
+//     (9/4)·n²·log₂n lower-order term — matching Table I's "Ours" row
+//     5n^{log₂7} − 4n² + (9/4)n²log₂n with error bound O(n^{log₂12}).
+//
+// This simultaneously attains the optimal leading coefficient and the
+// optimal stability factor, beating the Bini–Lotti trade-off exactly as
+// Section IV describes. The paper's Appendix A lists a different
+// representative of the same equivalence class (same bilinear addition
+// count, same transform cost, same stability factor) paired with the
+// Schwartz–Vaknin bilinear phase; see AppendixABases.
+func Ours() *Algorithm {
+	phi := exact.FromRows([][]int64{
+		{1, 0, -1, 1},
+		{0, 1, 0, 0},
+		{0, 0, 1, 0},
+		{0, -1, 0, 1},
+	})
+	psi := exact.FromRows([][]int64{
+		{1, 1, -1, 1},
+		{0, 1, 0, 0},
+		{0, 0, 1, 0},
+		{0, 0, 0, 1},
+	})
+	nu := exact.FromRows([][]int64{
+		{1, 0, 0, 0},
+		{0, 1, 0, 0},
+		{0, 0, 1, 0},
+		{1, 1, -1, 1},
+	})
+	alg, err := AltBasis("ours", Strassen(), phi, psi, nu)
+	if err != nil {
+		panic(err)
+	}
+	return alg
+}
+
+// AltWinograd returns the alternative basis version of Winograd's
+// variant: 12 additions in the bilinear phase (leading coefficient 5)
+// with stability factor 18 — the Karstadt–Schwartz ⟨2,2,2;7⟩ algorithm
+// class. The transformations found by our search cost 6 additions in
+// total, i.e. a (3/2)·n²·log₂n lower-order term, which matches the
+// improved transform cost of Schwartz–Vaknin's high-performance variant
+// (Table I row "[48]"); the original Karstadt–Schwartz bases cost
+// 3·n²·log₂n.
+func AltWinograd() *Algorithm {
+	phi := exact.FromRows([][]int64{
+		{1, 0, -1, 0},
+		{0, 1, 0, 0},
+		{0, 0, 1, 0},
+		{0, 0, 1, 1},
+	})
+	psi := exact.FromRows([][]int64{
+		{1, -1, 0, 0},
+		{0, 1, 0, 0},
+		{0, 0, 1, 0},
+		{0, -1, 0, 1},
+	})
+	nu := exact.FromRows([][]int64{
+		{1, 0, 0, 0},
+		{0, 1, 0, 1},
+		{0, 0, 1, 1},
+		{0, 0, 0, 1},
+	})
+	alg, err := AltBasis("alt-winograd", Winograd(), phi, psi, nu)
+	if err != nil {
+		panic(err)
+	}
+	return alg
+}
+
+// AppendixABases returns the basis transformation matrices φ, ψ, ν of
+// the paper's Appendix A (the paper lists ν⁻¹; ν is recovered by exact
+// inversion). Each has 7 nonzeros → 3 additions, the same transform
+// cost as Ours. They are designed for the Schwartz–Vaknin bilinear
+// phase, whose exact operator ordering the paper does not list; this
+// library's Ours uses its own searched representative of the same
+// class.
+func AppendixABases() (phi, psi, nu *exact.Matrix) {
+	phi = exact.FromRows([][]int64{
+		{0, 0, 1, 1},
+		{0, 0, 0, 1},
+		{-1, -1, 0, 0},
+		{1, 0, 0, 1},
+	})
+	psi = exact.FromRows([][]int64{
+		{1, 0, 0, 0},
+		{1, 1, 0, 0},
+		{-1, 0, 1, 0},
+		{1, 0, 0, 1},
+	})
+	nuInv := exact.FromRows([][]int64{
+		{0, 0, 1, -1},
+		{0, 0, -1, 0},
+		{1, 0, 0, 0},
+		{-1, 1, 0, -1},
+	})
+	nu, err := nuInv.Inverse()
+	if err != nil {
+		panic("algos: Appendix A ν⁻¹ is singular: " + err.Error())
+	}
+	return phi, psi, nu
+}
+
+// Restabilize applies Claim IV.1: it replaces the basis transformations
+// of an alternative basis algorithm by their images under the isotropy
+// action with invertible P (M₀×M₀), Q (K₀×K₀), R (N₀×N₀) —
+// φ′ = (Pᵀ⊗Q⁻¹)φ, ψ′ = (Qᵀ⊗R⁻¹)ψ, ν′ = (P⁻¹⊗Rᵀ)ν — keeping the
+// bilinear phase (hence arithmetic and communication leading
+// coefficients) identical while moving the standard-basis
+// representation, and with it the stability factor, through the orbit.
+// This is the "stabilize an existing fast algorithm" direction of
+// Section IV.
+func Restabilize(alg *Algorithm, p, q, r *exact.Matrix) (*Algorithm, error) {
+	base := &Algorithm{Name: alg.Name, Spec: alg.Spec}
+	pi, err := p.Inverse()
+	if err != nil {
+		return nil, err
+	}
+	qi, err := q.Inverse()
+	if err != nil {
+		return nil, err
+	}
+	ri, err := r.Inverse()
+	if err != nil {
+		return nil, err
+	}
+	phi, psi, nu := transformsOf(alg)
+	phi = exact.Mul(exact.Kronecker(p.Transpose(), qi), phi)
+	psi = exact.Mul(exact.Kronecker(q.Transpose(), ri), psi)
+	nu = exact.Mul(exact.Kronecker(pi, r.Transpose()), nu)
+	return attachTransforms(base, alg.Name+"-restab", phi, psi, nu), nil
+}
+
+// attachTransforms builds an Algorithm sharing base's bilinear phase
+// with the given transformation matrices (identities are dropped).
+func attachTransforms(base *Algorithm, name string, phi, psi, nu *exact.Matrix) *Algorithm {
+	out := &Algorithm{Name: name, Spec: base.Spec}
+	if !phi.IsIdentity() {
+		out.Phi = basis.New(name+"-φ", phi)
+	}
+	if !psi.IsIdentity() {
+		out.Psi = basis.New(name+"-ψ", psi)
+	}
+	if !nu.IsIdentity() {
+		out.Nu = basis.New(name+"-ν", nu)
+	}
+	return out
+}
+
+func transformsOf(alg *Algorithm) (phi, psi, nu *exact.Matrix) {
+	s := alg.Spec
+	phi, psi, nu = exact.Identity(s.M0*s.K0), exact.Identity(s.K0*s.N0), exact.Identity(s.M0*s.N0)
+	if alg.Phi != nil {
+		phi = alg.Phi.M
+	}
+	if alg.Psi != nil {
+		psi = alg.Psi.M
+	}
+	if alg.Nu != nil {
+		nu = alg.Nu.M
+	}
+	return phi, psi, nu
+}

@@ -1,0 +1,135 @@
+package algos
+
+import (
+	"testing"
+
+	"abmm/internal/exact"
+)
+
+func transformAdds(a *Algorithm) int {
+	t := 0
+	if a.Phi != nil {
+		t += a.Phi.Additions()
+	}
+	if a.Psi != nil {
+		t += a.Psi.Additions()
+	}
+	if a.Nu != nil {
+		t += a.Nu.Transposed().Additions()
+	}
+	return t
+}
+
+// TestOursTableIProfile re-verifies every Table I claim for the paper's
+// algorithm from the exact coefficient data: 12 bilinear additions
+// (leading coefficient 5), 9 transform additions ((9/4)n²log₂n), and a
+// standard-basis representation equal to Strassen's algorithm (hence
+// stability factor 12).
+func TestOursTableIProfile(t *testing.T) {
+	o := Ours()
+	if err := o.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := o.Spec.TotalAdditions(); got != 12 {
+		t.Errorf("bilinear additions = %d, want 12", got)
+	}
+	if got := o.Spec.TotalScheduledAdditions(); got > 12 {
+		t.Errorf("scheduled bilinear additions = %d, want ≤ 12", got)
+	}
+	if got := transformAdds(o); got != 9 {
+		t.Errorf("transform additions = %d, want 9", got)
+	}
+	u, v, w := o.StandardUVW()
+	s := Strassen()
+	if !exact.Equal(u, s.Spec.U) || !exact.Equal(v, s.Spec.V) || !exact.Equal(w, s.Spec.W) {
+		t.Error("standard representation is not Strassen's algorithm")
+	}
+}
+
+func TestAltWinogradProfile(t *testing.T) {
+	a := AltWinograd()
+	if err := a.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := a.Spec.TotalAdditions(); got != 12 {
+		t.Errorf("bilinear additions = %d, want 12", got)
+	}
+	if got := transformAdds(a); got != 6 {
+		t.Errorf("transform additions = %d, want 6 (the Schwartz–Vaknin 3/2·n²·log n cost)", got)
+	}
+	u, v, w := a.StandardUVW()
+	wino := Winograd()
+	if !exact.Equal(u, wino.Spec.U) || !exact.Equal(v, wino.Spec.V) || !exact.Equal(w, wino.Spec.W) {
+		t.Error("standard representation is not Winograd's algorithm")
+	}
+}
+
+func TestAppendixABasesWellFormed(t *testing.T) {
+	phi, psi, nu := AppendixABases()
+	for name, m := range map[string]*exact.Matrix{"phi": phi, "psi": psi, "nu": nu} {
+		if m.Rows != 4 || m.Cols != 4 {
+			t.Fatalf("%s has shape %dx%d", name, m.Rows, m.Cols)
+		}
+		if _, err := m.Inverse(); err != nil {
+			t.Fatalf("%s singular: %v", name, err)
+		}
+	}
+	// Each of φ, ψ (and the listed ν⁻¹) has 7 nonzeros → 3 additions.
+	if phi.NNZ() != 7 || psi.NNZ() != 7 {
+		t.Errorf("Appendix A φ/ψ nnz = %d/%d, want 7/7", phi.NNZ(), psi.NNZ())
+	}
+	nuInv, err := nu.Inverse()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nuInv.NNZ() != 7 {
+		t.Errorf("Appendix A ν⁻¹ nnz = %d, want 7", nuInv.NNZ())
+	}
+}
+
+// TestRestabilizeKeepsBilinearPhase exercises Claim IV.1: the isotropy
+// action on the transformations preserves the bilinear phase while
+// producing a valid algorithm whose standard representation moved
+// through the orbit.
+func TestRestabilizeKeepsBilinearPhase(t *testing.T) {
+	a := AltWinograd()
+	p := exact.FromRows([][]int64{{1, 1}, {0, 1}})
+	q := exact.FromRows([][]int64{{1, 0}, {-1, 1}})
+	r := exact.FromRows([][]int64{{1, -1}, {0, 1}})
+	b, err := Restabilize(a, p, q, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Spec != a.Spec {
+		t.Fatal("Restabilize must share the bilinear phase spec")
+	}
+	if err := b.Validate(); err != nil {
+		t.Fatalf("restabilized algorithm invalid: %v", err)
+	}
+	u, _, _ := b.StandardUVW()
+	if exact.Equal(u, AltWinograd().Spec.U) {
+		t.Log("note: standard U unchanged for this choice (unexpected but legal)")
+	}
+}
+
+func TestRestabilizeIdentityIsNoop(t *testing.T) {
+	a := Ours()
+	id := exact.Identity(2)
+	b, err := Restabilize(a, id, id, id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u1, v1, w1 := a.StandardUVW()
+	u2, v2, w2 := b.StandardUVW()
+	if !exact.Equal(u1, u2) || !exact.Equal(v1, v2) || !exact.Equal(w1, w2) {
+		t.Fatal("identity restabilization changed the algorithm")
+	}
+}
+
+func TestRestabilizeRejectsSingular(t *testing.T) {
+	sing := exact.New(2, 2)
+	id := exact.Identity(2)
+	if _, err := Restabilize(Ours(), sing, id, id); err == nil {
+		t.Fatal("singular P accepted")
+	}
+}

@@ -1,0 +1,142 @@
+// Package basis implements recursive linear transformations
+// (Definition II.1 of the paper): a D₁×D₂ matrix φ applied recursively
+// to a vector of D₁^L blocks, producing D₂^L blocks via
+//
+//	φ^L(v)_j = Σ_i φ_ij · φ^{L-1}(v^i).
+//
+// Operands use the same stacked block-recursive layout as the bilinear
+// engine, so each recursion level addresses its sub-vectors as
+// contiguous row ranges and every combination streams contiguous
+// memory. Transformations with D₂ > D₁ (the higher-dimension and fully
+// decomposed algorithms of Beniamini–Schwartz) grow the operand.
+package basis
+
+import (
+	"fmt"
+	"sync"
+
+	"abmm/internal/exact"
+	"abmm/internal/matrix"
+	"abmm/internal/parallel"
+	"abmm/internal/pool"
+)
+
+// Transform is a recursive linear transformation defined by a D₁×D₂
+// matrix. Entries must be exactly representable in float64 (all bases
+// in this library are small integers or dyadic rationals).
+type Transform struct {
+	Name   string
+	D1, D2 int
+	M      *exact.Matrix // D₁×D₂
+	// cols[j] holds column j of M as float64: the coefficients of
+	// output group j over the input groups.
+	cols [][]float64
+
+	// In-place elementary program, compiled lazily (see inplace.go).
+	ipOnce sync.Once
+	ipOps  []elemOp
+	ipOK   bool
+}
+
+// New builds a Transform from its exact matrix representation.
+func New(name string, m *exact.Matrix) *Transform {
+	t := &Transform{Name: name, D1: m.Rows, D2: m.Cols, M: m}
+	f := m.Float64s()
+	t.cols = make([][]float64, m.Cols)
+	for j := range t.cols {
+		col := make([]float64, m.Rows)
+		for i := range col {
+			col[i] = f[i*m.Cols+j]
+		}
+		t.cols[j] = col
+	}
+	return t
+}
+
+// Identity returns the identity transformation on d dimensions.
+func Identity(d int) *Transform { return New("identity", exact.Identity(d)) }
+
+// IsIdentity reports whether the transform is an identity map.
+func (t *Transform) IsIdentity() bool { return t.M.IsIdentity() }
+
+// Transposed returns the transform defined by Mᵀ, used to apply the
+// output transformation ν^T of Algorithm 1.
+func (t *Transform) Transposed() *Transform {
+	return New(t.Name+"ᵀ", t.M.Transpose())
+}
+
+// Inverse returns the inverse transformation; the recursive inverse of
+// φ^L is (φ⁻¹)^L. It errors when M is singular or rectangular.
+func (t *Transform) Inverse() (*Transform, error) {
+	inv, err := t.M.Inverse()
+	if err != nil {
+		return nil, fmt.Errorf("basis: %s not invertible: %w", t.Name, err)
+	}
+	return New(t.Name+"⁻¹", inv), nil
+}
+
+// Additions returns the number of block additions one recursion step of
+// the transform performs: Σ_j max(nnz(column j)-1, 0). Divided by D₁ it
+// gives the n² log n coefficient of the transform's arithmetic cost.
+func (t *Transform) Additions() int {
+	total := 0
+	for j := 0; j < t.D2; j++ {
+		nnz := 0
+		for i := 0; i < t.D1; i++ {
+			if t.M.At(i, j).Sign() != 0 {
+				nnz++
+			}
+		}
+		if nnz > 1 {
+			total += nnz - 1
+		}
+	}
+	return total
+}
+
+// Apply computes φ^level on an operand in stacked layout: in must have
+// rows divisible by D₁^level, interpreted as D₁^level base blocks; the
+// result has D₂^level base blocks of the same shape.
+func (t *Transform) Apply(in *matrix.Matrix, level, workers int) *matrix.Matrix {
+	d1l := ipow(t.D1, level)
+	if in.Rows%d1l != 0 {
+		panic(fmt.Sprintf("basis: %d rows not divisible by %d^%d", in.Rows, t.D1, level))
+	}
+	h := in.Rows / d1l
+	out := matrix.New(ipow(t.D2, level)*h, in.Cols)
+	t.apply(out, in, level, workers)
+	return out
+}
+
+func (t *Transform) apply(dst, src *matrix.Matrix, level, workers int) {
+	if level == 0 {
+		matrix.CopyInto(dst, src)
+		return
+	}
+	sh := src.Rows / t.D1
+	dh := dst.Rows / t.D2
+	// Recursively transform each input group into scratch, then
+	// combine scratch groups into the output groups. The recursion
+	// order follows Definition II.1 (transform sub-vectors first).
+	tmpGroup := dh // rows of one transformed input group: D₂^{level-1}·h
+	tmpBuf := pool.Get(t.D1 * tmpGroup * src.Cols)
+	tmp := make([]*matrix.Matrix, t.D1)
+	for i := range tmp {
+		tmp[i] = matrix.FromSlice(tmpGroup, src.Cols, tmpBuf[i*tmpGroup*src.Cols:(i+1)*tmpGroup*src.Cols])
+	}
+	parallel.For(t.D1, workers, 1, func(i int) {
+		t.apply(tmp[i], src.View(i*sh, 0, sh, src.Cols), level-1, 1)
+	})
+	parallel.For(t.D2, workers, 1, func(j int) {
+		matrix.LinearCombine(dst.View(j*dh, 0, dh, dst.Cols), t.cols[j], tmp, 1)
+	})
+	pool.Put(tmpBuf)
+}
+
+func ipow(b, e int) int {
+	v := 1
+	for ; e > 0; e-- {
+		v *= b
+	}
+	return v
+}

@@ -1,0 +1,288 @@
+package bilinear
+
+import (
+	"fmt"
+	"sync"
+
+	"abmm/internal/matrix"
+	"abmm/internal/parallel"
+	"abmm/internal/pool"
+)
+
+// Options controls execution of the recursive bilinear engine.
+type Options struct {
+	// Workers is the degree of parallelism; 0 means GOMAXPROCS.
+	Workers int
+	// TaskParallel selects the task-parallel schedule: the R recursive
+	// products of the top recursion levels run as concurrent tasks with
+	// sequential kernels, instead of the default schedule of a
+	// sequential recursion over parallel linear-combination and
+	// base-case kernels (the paper's scheme). The task schedule uses
+	// more memory (R product buffers per parallel node) and serves as
+	// an ablation point.
+	TaskParallel bool
+	// Direct disables the CSE-compiled linear-phase programs and
+	// executes each encoding/decoding combination independently. This
+	// uses less memory (three scratch blocks per recursion level) but
+	// performs the raw operator addition counts with no sharing — e.g.
+	// 24 instead of 15 additions per step for Winograd's variant. It
+	// serves as the memory-lean mode and as an ablation point.
+	Direct bool
+}
+
+func (o Options) workers() int {
+	if o.Workers <= 0 {
+		return parallel.DefaultWorkers()
+	}
+	return o.Workers
+}
+
+// Exec multiplies two operands in stacked layout: a must be the
+// ToRecursive image (branching D_U, depth levels) of the left operand
+// possibly followed by a basis transformation, and b likewise with
+// branching D_V. It returns the stacked product with branching D_W,
+// which for a standard-basis spec is the ToRecursive image of C = A·B.
+func Exec(s *Spec, a, b *matrix.Matrix, levels int, opt Options) *matrix.Matrix {
+	if levels < 0 {
+		panic("bilinear: negative recursion depth")
+	}
+	du, dv, dw := ipow(s.DU(), levels), ipow(s.DV(), levels), ipow(s.DW(), levels)
+	if a.Rows%du != 0 || b.Rows%dv != 0 {
+		panic(fmt.Sprintf("bilinear: operand rows %d/%d not divisible by branching %d/%d", a.Rows, b.Rows, du, dv))
+	}
+	if a.Cols != b.Rows/dv {
+		panic(fmt.Sprintf("bilinear: base blocks %dx%d · %dx%d do not conform",
+			a.Rows/du, a.Cols, b.Rows/dv, b.Cols))
+	}
+	e := newEngine(s, opt, levels)
+	c := matrix.New(dw*(a.Rows/du), b.Cols)
+	e.recurse(c, a, b, levels)
+	return c
+}
+
+type engine struct {
+	s             *Spec
+	workers       int
+	kernelWorkers int
+	// taskMinLevel is the lowest recursion level (counting down toward
+	// the base case at 0) at which products are still spawned as tasks;
+	// 0 disables task parallelism entirely.
+	taskMinLevel int
+	limiter      *parallel.Limiter
+	direct       bool
+	// mixed, when non-nil, selects a different spec per level
+	// (non-stationary recursion): mixed[0] at the top level.
+	mixed  []*Spec
+	levels int
+	cols   map[*Spec]*specCols
+}
+
+// specCols caches the encoding coefficient columns of a spec.
+type specCols struct {
+	u, v [][]float64
+}
+
+// specAt returns the algorithm for a recursion level (levels counts
+// down toward the base case at 0).
+func (e *engine) specAt(level int) *Spec {
+	if e.mixed == nil {
+		return e.s
+	}
+	return e.mixed[e.levels-level]
+}
+
+// colsOf returns (building once) the encoding columns of a spec.
+func (e *engine) colsOf(s *Spec) *specCols {
+	if c, ok := e.cols[s]; ok {
+		return c
+	}
+	c := &specCols{u: columns(s.uF), v: columns(s.vF)}
+	e.cols[s] = c
+	return c
+}
+
+func newEngine(s *Spec, opt Options, levels int) *engine {
+	e := &engine{s: s, workers: opt.workers(), kernelWorkers: opt.workers(), direct: opt.Direct}
+	if !e.direct {
+		s.Programs() // compile once before any parallel execution
+	}
+	if opt.TaskParallel {
+		// Spawn tasks on the top levels until R^depth covers ~4 tasks
+		// per worker, then recurse sequentially with serial kernels.
+		want := 4 * e.workers
+		depth, span := 0, 1
+		for span < want && depth < levels {
+			span *= s.R
+			depth++
+		}
+		e.taskMinLevel = levels - depth + 1
+		if e.taskMinLevel < 1 {
+			e.taskMinLevel = 1
+		}
+		e.limiter = parallel.NewLimiter(4 * e.workers)
+		e.kernelWorkers = 1
+	}
+	e.levels = levels
+	e.cols = make(map[*Spec]*specCols, 1)
+	e.colsOf(s)
+	return e
+}
+
+func columns(m *matrix.Matrix) [][]float64 {
+	out := make([][]float64, m.Cols)
+	for r := range out {
+		col := make([]float64, m.Rows)
+		for i := range col {
+			col[i] = m.At(i, r)
+		}
+		out[r] = col
+	}
+	return out
+}
+
+func (e *engine) recurse(c, a, b *matrix.Matrix, level int) {
+	if level == 0 {
+		matrix.Mul(c, a, b, e.kernelWorkers)
+		return
+	}
+	if !e.direct {
+		e.scheduled(c, a, b, level)
+		return
+	}
+	if e.limiter != nil && level >= e.taskMinLevel {
+		e.taskParallel(c, a, b, level)
+		return
+	}
+	e.sequential(c, a, b, level)
+}
+
+// scheduled runs one recursion step using the CSE-compiled linear-phase
+// programs: all S_r and T_r are produced by the shared encode programs,
+// the R products recurse (as concurrent tasks on the top levels in
+// task-parallel mode), and the decode program writes the output groups
+// in place.
+func (e *engine) scheduled(c, a, b *matrix.Matrix, level int) {
+	s := e.specAt(level)
+	encA, encB, dec := s.Programs()
+	ah, bh, ch := a.Rows/s.DU(), b.Rows/s.DV(), c.Rows/s.DW()
+	S, relS := runProgram(encA, groups(a, s.DU()), ah, a.Cols, nil, e.kernelWorkers)
+	T, relT := runProgram(encB, groups(b, s.DV()), bh, b.Cols, nil, e.kernelWorkers)
+	prods := make([]*matrix.Matrix, s.R)
+	pBufs := make([][]float64, s.R)
+	var wg sync.WaitGroup
+	for r := 0; r < s.R; r++ {
+		pBufs[r] = pool.Get(ch * c.Cols)
+		prods[r] = matrix.FromSlice(ch, c.Cols, pBufs[r])
+		task := func(r int) func() {
+			return func() { e.recurse(prods[r], S[r], T[r], level-1) }
+		}(r)
+		if e.limiter == nil || level < e.taskMinLevel || r == s.R-1 || !e.limiter.TrySpawn(&wg, task) {
+			task()
+		}
+	}
+	wg.Wait()
+	relS()
+	relT()
+	_, relC := runProgram(dec, prods, ch, c.Cols, groups(c, s.DW()), e.kernelWorkers)
+	relC()
+	for _, buf := range pBufs {
+		pool.Put(buf)
+	}
+}
+
+// sequential is the low-memory depth-first schedule: one S, T and
+// product buffer per recursion level, with products accumulated
+// directly into the output groups as they are produced.
+func (e *engine) sequential(c, a, b *matrix.Matrix, level int) {
+	s := e.specAt(level)
+	sc := e.colsOf(s)
+	ah, bh, ch := a.Rows/s.DU(), b.Rows/s.DV(), c.Rows/s.DW()
+	sBuf, tBuf, pBuf := pool.Get(ah*a.Cols), pool.Get(bh*b.Cols), pool.Get(ch*c.Cols)
+	S := matrix.FromSlice(ah, a.Cols, sBuf)
+	T := matrix.FromSlice(bh, b.Cols, tBuf)
+	P := matrix.FromSlice(ch, c.Cols, pBuf)
+	aGroups := groups(a, s.DU())
+	bGroups := groups(b, s.DV())
+	cGroups := groups(c, s.DW())
+	touched := make([]bool, s.DW())
+	for r := 0; r < s.R; r++ {
+		matrix.LinearCombine(S, sc.u[r], aGroups, e.kernelWorkers)
+		matrix.LinearCombine(T, sc.v[r], bGroups, e.kernelWorkers)
+		e.recurse(P, S, T, level-1)
+		for k := 0; k < s.DW(); k++ {
+			w := s.wF.At(k, r)
+			if w == 0 {
+				continue
+			}
+			if touched[k] {
+				matrix.AddScaled(cGroups[k], P, w, e.kernelWorkers)
+			} else {
+				matrix.Scale(cGroups[k], P, w, e.kernelWorkers)
+				touched[k] = true
+			}
+		}
+	}
+	for k, t := range touched {
+		if !t {
+			cGroups[k].Zero()
+		}
+	}
+	pool.Put(sBuf)
+	pool.Put(tBuf)
+	pool.Put(pBuf)
+}
+
+// taskParallel runs the R products of this node as concurrent tasks
+// when the limiter grants slots (running them inline otherwise), then
+// decodes all output groups in parallel. Each task owns its S, T and
+// product buffers.
+func (e *engine) taskParallel(c, a, b *matrix.Matrix, level int) {
+	s := e.specAt(level)
+	sc := e.colsOf(s)
+	ah, bh, ch := a.Rows/s.DU(), b.Rows/s.DV(), c.Rows/s.DW()
+	aGroups := groups(a, s.DU())
+	bGroups := groups(b, s.DV())
+	var wg sync.WaitGroup
+	prods := make([]*matrix.Matrix, s.R)
+	pBufs := make([][]float64, s.R)
+	for r := 0; r < s.R; r++ {
+		pBufs[r] = pool.Get(ch * c.Cols)
+		prods[r] = matrix.FromSlice(ch, c.Cols, pBufs[r])
+		task := func(r int) func() {
+			return func() {
+				sBuf, tBuf := pool.Get(ah*a.Cols), pool.Get(bh*b.Cols)
+				S := matrix.FromSlice(ah, a.Cols, sBuf)
+				T := matrix.FromSlice(bh, b.Cols, tBuf)
+				matrix.LinearCombine(S, sc.u[r], aGroups, 1)
+				matrix.LinearCombine(T, sc.v[r], bGroups, 1)
+				e.recurse(prods[r], S, T, level-1)
+				pool.Put(sBuf)
+				pool.Put(tBuf)
+			}
+		}(r)
+		// The last product always runs inline so the spawning
+		// goroutine contributes work instead of blocking.
+		if r == s.R-1 || !e.limiter.TrySpawn(&wg, task) {
+			task()
+		}
+	}
+	wg.Wait()
+	cGroups := groups(c, s.DW())
+	parallel.For(s.DW(), e.workers, 1, func(k int) {
+		matrix.LinearCombine(cGroups[k], s.wF.Row(k), prods, 1)
+	})
+	for _, buf := range pBufs {
+		pool.Put(buf)
+	}
+}
+
+// groups splits a stacked operand into its d top-level contiguous row
+// groups.
+func groups(m *matrix.Matrix, d int) []*matrix.Matrix {
+	h := m.Rows / d
+	out := make([]*matrix.Matrix, d)
+	for i := range out {
+		out[i] = m.View(i*h, 0, h, m.Cols)
+	}
+	return out
+}

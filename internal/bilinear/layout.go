@@ -1,0 +1,96 @@
+package bilinear
+
+import (
+	"abmm/internal/matrix"
+	"abmm/internal/parallel"
+)
+
+// The block-recursive ("stacked") layout stores an M×K matrix that will
+// undergo L recursion levels of an m0×k0 partition as a tall matrix of
+// (m0·k0)^L base blocks, each (M/m0^L)×(K/k0^L), stacked vertically in
+// recursive row-major block order: the first m0·k0 groups of rows are
+// the recursively-laid-out sub-blocks A₁...A_{m0k0} of the top-level
+// partition. One recursion level of the engine then addresses its D
+// sub-operands as contiguous row ranges, so every linear combination in
+// the encode/decode and basis-transformation phases streams over
+// contiguous memory.
+
+// ToRecursive copies m into stacked layout for L levels of an m0×k0
+// partition. m's dimensions must be divisible by m0^L and k0^L.
+func ToRecursive(m *matrix.Matrix, m0, k0, l, workers int) *matrix.Matrix {
+	checkDivisible(m, m0, k0, l)
+	h, w := m.Rows/ipow(m0, l), m.Cols/ipow(k0, l)
+	out := matrix.New(ipow(m0*k0, l)*h, w)
+	var rec func(src *matrix.Matrix, dst *matrix.Matrix, level int)
+	rec = func(src, dst *matrix.Matrix, level int) {
+		if level == 0 {
+			matrix.CopyInto(dst, src)
+			return
+		}
+		rows := dst.Rows / (m0 * k0)
+		for p := 0; p < m0; p++ {
+			for q := 0; q < k0; q++ {
+				i := p*k0 + q
+				rec(src.Block(m0, k0, p, q), dst.View(i*rows, 0, rows, dst.Cols), level-1)
+			}
+		}
+	}
+	if l == 0 {
+		matrix.CopyInto(out, m)
+		return out
+	}
+	// Parallelize over the top-level blocks.
+	rows := out.Rows / (m0 * k0)
+	parallel.For(m0*k0, workers, 1, func(i int) {
+		p, q := i/k0, i%k0
+		rec(m.Block(m0, k0, p, q), out.View(i*rows, 0, rows, out.Cols), l-1)
+	})
+	return out
+}
+
+// FromRecursive copies a stacked-layout matrix s (laid out for L levels
+// of an m0×n0 partition) into dst, which must have dimensions divisible
+// by m0^L and n0^L and the same element count as s.
+func FromRecursive(s *matrix.Matrix, dst *matrix.Matrix, m0, n0, l, workers int) {
+	checkDivisible(dst, m0, n0, l)
+	if s.Rows*s.Cols != dst.Rows*dst.Cols {
+		panic(matrix.ErrShape)
+	}
+	var rec func(src, d *matrix.Matrix, level int)
+	rec = func(src, d *matrix.Matrix, level int) {
+		if level == 0 {
+			matrix.CopyInto(d, src)
+			return
+		}
+		rows := src.Rows / (m0 * n0)
+		for p := 0; p < m0; p++ {
+			for q := 0; q < n0; q++ {
+				i := p*n0 + q
+				rec(src.View(i*rows, 0, rows, src.Cols), d.Block(m0, n0, p, q), level-1)
+			}
+		}
+	}
+	if l == 0 {
+		matrix.CopyInto(dst, s)
+		return
+	}
+	rows := s.Rows / (m0 * n0)
+	parallel.For(m0*n0, workers, 1, func(i int) {
+		p, q := i/n0, i%n0
+		rec(s.View(i*rows, 0, rows, s.Cols), dst.Block(m0, n0, p, q), l-1)
+	})
+}
+
+func checkDivisible(m *matrix.Matrix, m0, k0, l int) {
+	if m.Rows%ipow(m0, l) != 0 || m.Cols%ipow(k0, l) != 0 {
+		panic(matrix.ErrShape)
+	}
+}
+
+func ipow(b, e int) int {
+	v := 1
+	for ; e > 0; e-- {
+		v *= b
+	}
+	return v
+}

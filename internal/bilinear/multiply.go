@@ -1,0 +1,30 @@
+package bilinear
+
+import (
+	"abmm/internal/matrix"
+)
+
+// Multiply runs the full standard-basis pipeline for a spec whose
+// operators act directly on matrix blocks: pad the operands so that
+// `levels` recursion steps divide evenly, convert to stacked layout,
+// execute the recursion, and convert back, cropping the padding. It
+// panics if the spec is decomposed (those require basis
+// transformations; see internal/core).
+func Multiply(s *Spec, a, b *matrix.Matrix, levels int, opt Options) *matrix.Matrix {
+	if !s.IsStandard() {
+		panic("bilinear: Multiply requires a standard-basis spec")
+	}
+	if a.Cols != b.Rows {
+		panic(matrix.ErrShape)
+	}
+	w := opt.workers()
+	pm, pk, pn := matrix.PadShape(a.Rows, a.Cols, b.Cols, s.M0, s.K0, s.N0, levels)
+	ap := a.PadTo(pm, pk)
+	bp := b.PadTo(pk, pn)
+	as := ToRecursive(ap, s.M0, s.K0, levels, w)
+	bs := ToRecursive(bp, s.K0, s.N0, levels, w)
+	cs := Exec(s, as, bs, levels, opt)
+	cp := matrix.New(pm, pn)
+	FromRecursive(cs, cp, s.M0, s.N0, levels, w)
+	return cp.CropTo(a.Rows, b.Cols)
+}

@@ -1,0 +1,87 @@
+package bilinear
+
+import (
+	"abmm/internal/matrix"
+	"abmm/internal/pool"
+	"abmm/internal/schedule"
+)
+
+// runProgram executes a compiled linear-phase program on equally-shaped
+// blocks. inputs provides the program's input registers; computed
+// registers are allocated from the buffer pool with shape rows×cols and
+// recycled as soon as liveness allows. If outBind is non-nil, target t
+// is computed directly into outBind[t] where possible (pass-through and
+// register-shared targets are copied). It returns the target blocks and
+// a release function that must be called once the caller is done
+// reading them.
+func runProgram(p *schedule.Program, inputs []*matrix.Matrix, rows, cols int,
+	outBind []*matrix.Matrix, workers int) (outs []*matrix.Matrix, release func()) {
+
+	regs := make([]*matrix.Matrix, p.NumRegs)
+	copy(regs, inputs)
+	ownedBuf := make(map[int][]float64)
+
+	isTarget := make(map[int]bool, len(p.Targets))
+	for _, r := range p.Targets {
+		isTarget[r] = true
+	}
+	// Pre-bind destination storage to computed target registers so the
+	// final op of each output writes in place. A register can be bound
+	// only once; duplicate targets fall back to a copy below.
+	bound := make(map[int]bool)
+	if outBind != nil {
+		for t, r := range p.Targets {
+			if r >= p.NumInputs && !bound[r] && outBind[t] != nil {
+				regs[r] = outBind[t]
+				bound[r] = true
+			}
+		}
+	}
+
+	recycle := func(r, opIdx int) {
+		if r < p.NumInputs || isTarget[r] || p.LastUse[r] != opIdx {
+			return
+		}
+		if buf, ok := ownedBuf[r]; ok {
+			pool.Put(buf)
+			delete(ownedBuf, r)
+			regs[r] = nil
+		}
+	}
+
+	coeff := make([]float64, 2)
+	args := make([]*matrix.Matrix, 2)
+	for i, op := range p.Ops {
+		if regs[op.Dst] == nil {
+			buf := pool.Get(rows * cols)
+			ownedBuf[op.Dst] = buf
+			regs[op.Dst] = matrix.FromSlice(rows, cols, buf)
+		}
+		if op.B < 0 {
+			matrix.Scale(regs[op.Dst], regs[op.A], op.CA, workers)
+		} else {
+			coeff[0], coeff[1] = op.CA, op.CB
+			args[0], args[1] = regs[op.A], regs[op.B]
+			matrix.LinearCombine(regs[op.Dst], coeff, args, workers)
+		}
+		recycle(op.A, i)
+		if op.B >= 0 {
+			recycle(op.B, i)
+		}
+	}
+
+	outs = make([]*matrix.Matrix, len(p.Targets))
+	for t, r := range p.Targets {
+		outs[t] = regs[r]
+		if outBind != nil && outBind[t] != nil && regs[r] != outBind[t] {
+			matrix.CopyInto(outBind[t], regs[r])
+			outs[t] = outBind[t]
+		}
+	}
+	release = func() {
+		for _, buf := range ownedBuf {
+			pool.Put(buf)
+		}
+	}
+	return outs, release
+}

@@ -1,0 +1,127 @@
+package comm
+
+// Cache is a set-free fully-associative LRU cache simulator operating
+// on word addresses grouped into lines. It counts the data movement
+// (misses × line size) of an access trace — the empirical counterpart
+// of Definition A.1's communication cost.
+type Cache struct {
+	// LineWords is the cache line size in words (8 matches 64-byte
+	// lines of float64).
+	LineWords int
+	capacity  int // in lines
+	table     map[int64]*lruNode
+	head      *lruNode // most recently used
+	tail      *lruNode // least recently used
+	misses    int64
+	accesses  int64
+}
+
+type lruNode struct {
+	line       int64
+	prev, next *lruNode
+}
+
+// NewCache returns a simulator holding capacityWords of data in lines
+// of lineWords words.
+func NewCache(capacityWords, lineWords int) *Cache {
+	if lineWords < 1 {
+		lineWords = 1
+	}
+	lines := capacityWords / lineWords
+	if lines < 1 {
+		lines = 1
+	}
+	return &Cache{
+		LineWords: lineWords,
+		capacity:  lines,
+		table:     make(map[int64]*lruNode, lines+1),
+	}
+}
+
+// Touch accesses one word address.
+func (c *Cache) Touch(addr int64) {
+	c.accesses++
+	line := addr / int64(c.LineWords)
+	if n, ok := c.table[line]; ok {
+		c.moveToFront(n)
+		return
+	}
+	c.misses++
+	n := &lruNode{line: line}
+	c.table[line] = n
+	c.pushFront(n)
+	if len(c.table) > c.capacity {
+		evict := c.tail
+		c.unlink(evict)
+		delete(c.table, evict.line)
+	}
+}
+
+// TouchRange accesses a contiguous range of words [addr, addr+n).
+func (c *Cache) TouchRange(addr int64, n int) {
+	if n <= 0 {
+		return
+	}
+	first := addr / int64(c.LineWords)
+	last := (addr + int64(n) - 1) / int64(c.LineWords)
+	c.accesses += int64(n)
+	for line := first; line <= last; line++ {
+		if nd, ok := c.table[line]; ok {
+			c.moveToFront(nd)
+			continue
+		}
+		c.misses++
+		nd := &lruNode{line: line}
+		c.table[line] = nd
+		c.pushFront(nd)
+		if len(c.table) > c.capacity {
+			evict := c.tail
+			c.unlink(evict)
+			delete(c.table, evict.line)
+		}
+	}
+}
+
+// Misses returns the number of line misses so far.
+func (c *Cache) Misses() int64 { return c.misses }
+
+// Accesses returns the number of word accesses so far.
+func (c *Cache) Accesses() int64 { return c.accesses }
+
+// TrafficWords returns misses × line size: the words moved between the
+// cache and main memory.
+func (c *Cache) TrafficWords() int64 { return c.misses * int64(c.LineWords) }
+
+func (c *Cache) pushFront(n *lruNode) {
+	n.prev = nil
+	n.next = c.head
+	if c.head != nil {
+		c.head.prev = n
+	}
+	c.head = n
+	if c.tail == nil {
+		c.tail = n
+	}
+}
+
+func (c *Cache) unlink(n *lruNode) {
+	if n.prev != nil {
+		n.prev.next = n.next
+	} else {
+		c.head = n.next
+	}
+	if n.next != nil {
+		n.next.prev = n.prev
+	} else {
+		c.tail = n.prev
+	}
+	n.prev, n.next = nil, nil
+}
+
+func (c *Cache) moveToFront(n *lruNode) {
+	if c.head == n {
+		return
+	}
+	c.unlink(n)
+	c.pushFront(n)
+}

@@ -1,0 +1,129 @@
+// Package core assembles the paper's Algorithm 1: pad the operands,
+// convert to the block-recursive layout, apply the input basis
+// transformations φ and ψ, run the recursive-bilinear phase, apply the
+// output transformation νᵀ, and convert back. It is the execution
+// engine behind the public abmm API and behind every runtime and error
+// experiment.
+package core
+
+import (
+	"fmt"
+
+	"abmm/internal/algos"
+	"abmm/internal/bilinear"
+	"abmm/internal/matrix"
+	"abmm/internal/parallel"
+)
+
+// Options configures a multiplication.
+type Options struct {
+	// Levels is the number of recursion steps L before the classical
+	// base case. Negative selects automatically: recurse while the base
+	// blocks stay at least MinBase in every dimension.
+	Levels int
+	// MinBase bounds automatic level selection; ignored when Levels is
+	// explicit. Default 512, which empirically sits at the
+	// overhead-vs-arithmetic sweet spot for the pure-Go kernels.
+	MinBase int
+	// Workers is the degree of parallelism; 0 means GOMAXPROCS.
+	Workers int
+	// TaskParallel and Direct select engine schedules; see
+	// bilinear.Options.
+	TaskParallel bool
+	Direct       bool
+}
+
+// AutoLevels is the Levels value requesting automatic selection.
+const AutoLevels = -1
+
+func (o Options) workers() int {
+	if o.Workers <= 0 {
+		return parallel.DefaultWorkers()
+	}
+	return o.Workers
+}
+
+// Multiplier executes a specific algorithm with fixed options.
+type Multiplier struct {
+	Alg *algos.Algorithm
+	Opt Options
+}
+
+// New returns a Multiplier for the given algorithm.
+func New(alg *algos.Algorithm, opt Options) *Multiplier {
+	return &Multiplier{Alg: alg, Opt: opt}
+}
+
+// Levels resolves the recursion depth for an m×k·k×n multiplication.
+func (mu *Multiplier) Levels(m, k, n int) int {
+	if mu.Opt.Levels >= 0 {
+		return mu.Opt.Levels
+	}
+	minBase := mu.Opt.MinBase
+	if minBase <= 0 {
+		minBase = 512
+	}
+	s := mu.Alg.Spec
+	l := 0
+	for m/s.M0 >= minBase && k/s.K0 >= minBase && n/s.N0 >= minBase {
+		m, k, n = m/s.M0, k/s.K0, n/s.N0
+		l++
+	}
+	return l
+}
+
+// Multiply computes A·B with the configured algorithm.
+func (mu *Multiplier) Multiply(a, b *matrix.Matrix) *matrix.Matrix {
+	if a.Cols != b.Rows {
+		panic(fmt.Sprintf("core: cannot multiply %dx%d by %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	alg, opt := mu.Alg, mu.Opt
+	s := alg.Spec
+	levels := mu.Levels(a.Rows, a.Cols, b.Cols)
+	w := opt.workers()
+	bopt := bilinear.Options{Workers: w, TaskParallel: opt.TaskParallel, Direct: opt.Direct}
+
+	// Step 0: pad so `levels` recursion steps divide evenly.
+	pm, pk, pn := matrix.PadShape(a.Rows, a.Cols, b.Cols, s.M0, s.K0, s.N0, levels)
+	ap := a.PadTo(pm, pk)
+	bp := b.PadTo(pk, pn)
+
+	// Convert to block-recursive layout.
+	as := bilinear.ToRecursive(ap, s.M0, s.K0, levels, w)
+	bs := bilinear.ToRecursive(bp, s.K0, s.N0, levels, w)
+
+	// Steps 2–3: Ã = φ(A), B̃ = ψ(B). The stacked buffers are freshly
+	// allocated, so square transforms run in place (the paper's
+	// (2⅔+o(1))n² memory footprint relies on this); dimension-changing
+	// decompositions fall back to out-of-place application.
+	if alg.Phi != nil && !alg.Phi.IsIdentity() {
+		if !alg.Phi.ApplyInPlace(as, levels, w) {
+			as = alg.Phi.Apply(as, levels, w)
+		}
+	}
+	if alg.Psi != nil && !alg.Psi.IsIdentity() {
+		if !alg.Psi.ApplyInPlace(bs, levels, w) {
+			bs = alg.Psi.Apply(bs, levels, w)
+		}
+	}
+
+	// Step 4: recursive-bilinear phase.
+	cs := bilinear.Exec(s, as, bs, levels, bopt)
+
+	// Step 5: C = νᵀ(C̃).
+	if alg.Nu != nil && !alg.Nu.IsIdentity() {
+		nuT := alg.Nu.Transposed()
+		if !nuT.ApplyInPlace(cs, levels, w) {
+			cs = nuT.Apply(cs, levels, w)
+		}
+	}
+
+	cp := matrix.New(pm, pn)
+	bilinear.FromRecursive(cs, cp, s.M0, s.N0, levels, w)
+	return cp.CropTo(a.Rows, b.Cols)
+}
+
+// Multiply is a convenience wrapper: one-shot multiplication with alg.
+func Multiply(alg *algos.Algorithm, a, b *matrix.Matrix, opt Options) *matrix.Matrix {
+	return New(alg, opt).Multiply(a, b)
+}

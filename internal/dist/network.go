@@ -1,0 +1,70 @@
+package dist
+
+import "sync/atomic"
+
+// network is the simulated message-passing fabric: a buffered channel
+// per ordered processor pair and atomic traffic counters.
+type network struct {
+	p     int
+	links []chan []float64 // links[from*p+to]
+	msgs  []atomic.Int64   // per sender
+	words []atomic.Int64   // per sender
+	procs []proc
+}
+
+func newNetwork(p int) *network {
+	n := &network{
+		p:     p,
+		links: make([]chan []float64, p*p),
+		msgs:  make([]atomic.Int64, p),
+		words: make([]atomic.Int64, p),
+		procs: make([]proc, p),
+	}
+	for i := range n.links {
+		// Generously buffered: at most a couple of messages per pair
+		// per recursion level are ever in flight.
+		n.links[i] = make(chan []float64, 64)
+	}
+	for r := range n.procs {
+		n.procs[r] = proc{rank: r, net: n}
+	}
+	return n
+}
+
+func (n *network) proc(rank int) *proc { return &n.procs[rank] }
+
+func (n *network) stats() Stats {
+	s := Stats{Procs: n.p}
+	for i := 0; i < n.p; i++ {
+		m, w := n.msgs[i].Load(), n.words[i].Load()
+		s.Messages += m
+		s.Words += w
+		if w > s.MaxWordsPerProc {
+			s.MaxWordsPerProc = w
+		}
+	}
+	return s
+}
+
+// proc is one simulated processor's endpoint.
+type proc struct {
+	rank int
+	net  *network
+}
+
+// send ships a copy of data to another processor.
+func (p *proc) send(to int, data []float64) {
+	if to == p.rank {
+		panic("dist: self-send must be handled locally")
+	}
+	buf := make([]float64, len(data))
+	copy(buf, data)
+	p.net.msgs[p.rank].Add(1)
+	p.net.words[p.rank].Add(int64(len(data)))
+	p.net.links[p.rank*p.net.p+to] <- buf
+}
+
+// recv blocks until a message from the given processor arrives.
+func (p *proc) recv(from int) []float64 {
+	return <-p.net.links[from*p.net.p+p.rank]
+}

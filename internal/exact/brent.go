@@ -1,0 +1,71 @@
+package exact
+
+import (
+	"fmt"
+	"math/big"
+)
+
+// VerifyBilinear checks the Brent triple-product condition: the
+// encoding/decoding matrices U (M₀K₀×R), V (K₀N₀×R), W (M₀N₀×R) define
+// a correct ⟨M₀,K₀,N₀;R⟩ matrix multiplication algorithm iff for every
+// (m,k), (k',j), (i,j'):
+//
+//	Σ_r u_{(m,k),r} · v_{(k',j),r} · w_{(i,j'),r} = [k=k'][m=i][j=j']
+//
+// with row-major vectorization (m,k) ↦ m·K₀+k, (k,j) ↦ k·N₀+j,
+// (i,j) ↦ i·N₀+j. It returns nil if the condition holds everywhere and
+// otherwise an error identifying the first violated equation — which in
+// practice pinpoints exactly which product term of a transcribed
+// algorithm is wrong.
+func VerifyBilinear(m0, k0, n0 int, u, v, w *Matrix) error {
+	r := u.Cols
+	if u.Rows != m0*k0 || v.Rows != k0*n0 || w.Rows != m0*n0 || v.Cols != r || w.Cols != r {
+		return fmt.Errorf("exact: inconsistent shapes for ⟨%d,%d,%d⟩: U %dx%d, V %dx%d, W %dx%d",
+			m0, k0, n0, u.Rows, u.Cols, v.Rows, v.Cols, w.Rows, w.Cols)
+	}
+	var sum, t big.Rat
+	one := big.NewRat(1, 1)
+	for m := 0; m < m0; m++ {
+		for k := 0; k < k0; k++ {
+			ui := m*k0 + k
+			for kp := 0; kp < k0; kp++ {
+				for j := 0; j < n0; j++ {
+					vi := kp*n0 + j
+					for i := 0; i < m0; i++ {
+						for jp := 0; jp < n0; jp++ {
+							wi := i*n0 + jp
+							sum.SetInt64(0)
+							for rr := 0; rr < r; rr++ {
+								uv := u.At(ui, rr)
+								if uv.Sign() == 0 {
+									continue
+								}
+								vv := v.At(vi, rr)
+								if vv.Sign() == 0 {
+									continue
+								}
+								wv := w.At(wi, rr)
+								if wv.Sign() == 0 {
+									continue
+								}
+								t.Mul(uv, vv)
+								t.Mul(&t, wv)
+								sum.Add(&sum, &t)
+							}
+							want := k == kp && m == i && j == jp
+							if want && sum.Cmp(one) != 0 {
+								return fmt.Errorf("exact: Brent equation A[%d,%d]·B[%d,%d]→C[%d,%d] sums to %s, want 1",
+									m, k, kp, j, i, jp, sum.RatString())
+							}
+							if !want && sum.Sign() != 0 {
+								return fmt.Errorf("exact: Brent equation A[%d,%d]·B[%d,%d]→C[%d,%d] sums to %s, want 0",
+									m, k, kp, j, i, jp, sum.RatString())
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	return nil
+}

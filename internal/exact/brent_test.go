@@ -1,0 +1,108 @@
+package exact
+
+import (
+	"strings"
+	"testing"
+)
+
+// strassenUVW returns the canonical Strassen ⟨2,2,2;7⟩ coefficients in
+// this package's row-major vectorization.
+func strassenUVW() (u, v, w *Matrix) {
+	// Products: M1=(A11+A22)(B11+B22), M2=(A21+A22)B11, M3=A11(B12−B22),
+	// M4=A22(B21−B11), M5=(A11+A12)B22, M6=(A21−A11)(B11+B12),
+	// M7=(A12−A22)(B21+B22).
+	// C11=M1+M4−M5+M7, C12=M3+M5, C21=M2+M4, C22=M1−M2+M3+M6.
+	u = FromRows([][]int64{ // rows: A11,A12,A21,A22; cols: M1..M7
+		{1, 0, 1, 0, 1, -1, 0},
+		{0, 0, 0, 0, 1, 0, 1},
+		{0, 1, 0, 0, 0, 1, 0},
+		{1, 1, 0, 1, 0, 0, -1},
+	})
+	v = FromRows([][]int64{ // rows: B11,B12,B21,B22
+		{1, 1, 0, -1, 0, 1, 0},
+		{0, 0, 1, 0, 0, 1, 0},
+		{0, 0, 0, 1, 0, 0, 1},
+		{1, 0, -1, 0, 1, 0, 1},
+	})
+	w = FromRows([][]int64{ // rows: C11,C12,C21,C22
+		{1, 0, 0, 1, -1, 0, 1},
+		{0, 0, 1, 0, 1, 0, 0},
+		{0, 1, 0, 1, 0, 0, 0},
+		{1, -1, 1, 0, 0, 1, 0},
+	})
+	return u, v, w
+}
+
+func TestVerifyBilinearStrassen(t *testing.T) {
+	u, v, w := strassenUVW()
+	if err := VerifyBilinear(2, 2, 2, u, v, w); err != nil {
+		t.Fatalf("canonical Strassen rejected: %v", err)
+	}
+}
+
+func TestVerifyBilinearClassical(t *testing.T) {
+	// The classical algorithm as a bilinear algorithm: R = m0*k0*n0
+	// products a_{mk}*b_{kj} contributing to c_{mj}.
+	for _, dims := range [][3]int{{2, 2, 2}, {3, 2, 4}, {1, 5, 1}} {
+		m0, k0, n0 := dims[0], dims[1], dims[2]
+		r := m0 * k0 * n0
+		u, v, w := New(m0*k0, r), New(k0*n0, r), New(m0*n0, r)
+		idx := 0
+		for m := 0; m < m0; m++ {
+			for k := 0; k < k0; k++ {
+				for j := 0; j < n0; j++ {
+					u.SetInt(m*k0+k, idx, 1)
+					v.SetInt(k*n0+j, idx, 1)
+					w.SetInt(m*n0+j, idx, 1)
+					idx++
+				}
+			}
+		}
+		if err := VerifyBilinear(m0, k0, n0, u, v, w); err != nil {
+			t.Fatalf("classical ⟨%d,%d,%d⟩ rejected: %v", m0, k0, n0, err)
+		}
+	}
+}
+
+func TestVerifyBilinearDetectsCorruption(t *testing.T) {
+	u, v, w := strassenUVW()
+	w.SetInt(0, 1, 1) // corrupt one decoding coefficient
+	err := VerifyBilinear(2, 2, 2, u, v, w)
+	if err == nil {
+		t.Fatal("corrupted Strassen accepted")
+	}
+	if !strings.Contains(err.Error(), "Brent equation") {
+		t.Fatalf("unhelpful error: %v", err)
+	}
+}
+
+func TestVerifyBilinearShapeError(t *testing.T) {
+	u, v, w := strassenUVW()
+	if err := VerifyBilinear(3, 2, 2, u, v, w); err == nil {
+		t.Fatal("shape mismatch accepted")
+	}
+}
+
+func TestVerifyBilinearOrbitInvariance(t *testing.T) {
+	// Claim II.3 (isotropy-group action): substituting A→PAQ⁻¹,
+	// B→QBR⁻¹ and undoing C→PCR⁻¹ yields another algorithm. With
+	// row-major vectorization the transformed triple is
+	// ⟨(Pᵀ⊗Q⁻¹)U, (Qᵀ⊗R⁻¹)V, (P⁻¹⊗Rᵀ)W⟩.
+	u, v, w := strassenUVW()
+	p := FromRows([][]int64{{1, 1}, {0, 1}})
+	q := FromRows([][]int64{{1, 0}, {-1, 1}})
+	r := FromRows([][]int64{{0, 1}, {1, 0}})
+	inv := func(m *Matrix) *Matrix {
+		out, err := m.Inverse()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	u2 := Mul(Kronecker(p.Transpose(), inv(q)), u)
+	v2 := Mul(Kronecker(q.Transpose(), inv(r)), v)
+	w2 := Mul(Kronecker(inv(p), r.Transpose()), w)
+	if err := VerifyBilinear(2, 2, 2, u2, v2, w2); err != nil {
+		t.Fatalf("orbit-transformed Strassen rejected: %v", err)
+	}
+}

@@ -1,0 +1,161 @@
+// Package experiments regenerates every table and figure of the
+// paper's evaluation: the arithmetic-cost/error-bound tables (I, II),
+// the communication-cost table (III), the ⟨3,3,3;23⟩ speed-stability
+// scatter (Figure 1), the runtime benchmarks (Figure 2 A/B), the
+// forward-error measurements (Figure 2 C/D, Figure 3), and the diagonal
+// scaling study (Figure 4). Each experiment returns a Table that
+// cmd/experiments prints and EXPERIMENTS.md records.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"abmm/internal/algos"
+	"abmm/internal/parallel"
+)
+
+// Params scales the experiments. Defaults run in seconds on a laptop;
+// Paper reproduces the paper's sizes (minutes to hours).
+type Params struct {
+	// Fig2ASizes are the matrix sizes of the runtime sweep.
+	Fig2ASizes []int
+	// Fig2BSize and Fig2BLevels drive the recursion-depth sweep.
+	Fig2BSize   int
+	Fig2BLevels []int
+	// ErrorSize and ErrorRuns drive Figures 2(C)/2(D).
+	ErrorSize int
+	ErrorRuns int
+	// Fig3Size is the ⟨3,3,3⟩ error size (a power of 3).
+	Fig3Size int
+	Fig3Runs int
+	// Fig4Size and Fig4Runs drive the scaling study.
+	Fig4Size int
+	Fig4Runs int
+	// Reps is the number of timing repetitions (median reported).
+	Reps int
+	// Workers bounds parallelism (0 = GOMAXPROCS).
+	Workers int
+	// Seed makes all experiments reproducible.
+	Seed uint64
+}
+
+// Default returns parameters that complete quickly while preserving
+// every qualitative comparison.
+func Default() Params {
+	return Params{
+		Fig2ASizes:  []int{256, 512, 1024, 2048},
+		Fig2BSize:   2048,
+		Fig2BLevels: []int{0, 1, 2, 3, 4},
+		ErrorSize:   1024,
+		ErrorRuns:   10,
+		Fig3Size:    729,
+		Fig3Runs:    10,
+		Fig4Size:    512,
+		Fig4Runs:    10,
+		Reps:        3,
+		Seed:        1,
+	}
+}
+
+// Paper returns the paper's experiment sizes (Section VI): runtime
+// sweeps to 8192, errors at 4096 over 100 runs, ⟨3,3,3⟩ at 2187,
+// scaling at 2048.
+func Paper() Params {
+	p := Default()
+	p.Fig2ASizes = []int{1024, 2048, 4096, 8192}
+	p.Fig2BSize = 8192
+	p.ErrorSize = 4096
+	p.ErrorRuns = 100
+	p.Fig3Size = 2187
+	p.Fig3Runs = 100
+	p.Fig4Size = 2048
+	p.Fig4Runs = 100
+	p.Reps = 5
+	return p
+}
+
+func (p Params) workers() int {
+	if p.Workers <= 0 {
+		return parallel.DefaultWorkers()
+	}
+	return p.Workers
+}
+
+// Table is a formatted experiment result.
+type Table struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+	Notes  []string
+}
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len([]rune(h))
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len([]rune(cell)) > widths[i] {
+				widths[i] = len([]rune(cell))
+			}
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s ==\n", t.Title)
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(cell)
+			for p := len([]rune(cell)); p < widths[i]; p++ {
+				b.WriteByte(' ')
+			}
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Header)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// timeMedian runs fn reps times and returns the median duration.
+func timeMedian(reps int, fn func()) time.Duration {
+	if reps < 1 {
+		reps = 1
+	}
+	times := make([]time.Duration, reps)
+	for i := range times {
+		start := time.Now()
+		fn()
+		times[i] = time.Since(start)
+	}
+	for i := 1; i < len(times); i++ {
+		for j := i; j > 0 && times[j] < times[j-1]; j-- {
+			times[j], times[j-1] = times[j-1], times[j]
+		}
+	}
+	// Lower median: with two repetitions this reports the minimum,
+	// the conventional choice under timing noise.
+	return times[(len(times)-1)/2]
+}
+
+// fig2Algorithms is the ⟨2,2,2;7⟩ line-up of the runtime and error
+// benchmarks.
+func fig2Algorithms() []*algos.Algorithm {
+	return []*algos.Algorithm{
+		algos.Strassen(),
+		algos.Winograd(),
+		algos.AltWinograd(),
+		algos.Ours(),
+	}
+}

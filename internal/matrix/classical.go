@@ -1,0 +1,89 @@
+package matrix
+
+import "abmm/internal/parallel"
+
+// Blocking parameters for the classical kernel. The micro-tile is sized
+// so that a block of A (mc×kc) and a panel of B (kc×nc) fit in L2/L1
+// cache on typical hardware; they are deliberately conservative and
+// portable.
+const (
+	blockM = 64
+	blockK = 256
+	blockN = 512
+)
+
+// Mul computes c = a·b with the cache-blocked parallel classical
+// algorithm. c must not alias a or b. This kernel is the recursion base
+// case of all fast algorithms in this library and doubles as the
+// "DGEMM" baseline that runtimes are normalized against (the paper uses
+// Intel MKL; see DESIGN.md §4 for the substitution).
+func Mul(c, a, b *Matrix, workers int) {
+	if a.Cols != b.Rows || c.Rows != a.Rows || c.Cols != b.Cols {
+		panic(ErrShape)
+	}
+	c.Zero()
+	MulAdd(c, a, b, workers)
+}
+
+// MulAdd computes c += a·b. c must not alias a or b.
+func MulAdd(c, a, b *Matrix, workers int) {
+	if a.Cols != b.Rows || c.Rows != a.Rows || c.Cols != b.Cols {
+		panic(ErrShape)
+	}
+	m, k, n := a.Rows, a.Cols, b.Cols
+	if m == 0 || n == 0 || k == 0 {
+		return
+	}
+	// Parallelize over row blocks of C: disjoint outputs, no locking.
+	parallel.ForChunks((m+blockM-1)/blockM, workers, 1, func(lo, hi int) {
+		for ib := lo; ib < hi; ib++ {
+			i0 := ib * blockM
+			i1 := min(i0+blockM, m)
+			for k0 := 0; k0 < k; k0 += blockK {
+				k1 := min(k0+blockK, k)
+				for j0 := 0; j0 < n; j0 += blockN {
+					j1 := min(j0+blockN, n)
+					mulTile(c, a, b, i0, i1, k0, k1, j0, j1)
+				}
+			}
+		}
+	})
+}
+
+// mulTile accumulates the (i0:i1, j0:j1) tile of C using the
+// (i0:i1, k0:k1) panel of A and (k0:k1, j0:j1) panel of B. The loop
+// order (i, k, j) streams B rows and C rows with unit stride so the
+// inner loop is a vectorizable fused multiply-add over contiguous
+// memory.
+func mulTile(c, a, b *Matrix, i0, i1, k0, k1, j0, j1 int) {
+	for i := i0; i < i1; i++ {
+		crow := c.Data[i*c.Stride+j0 : i*c.Stride+j1]
+		arow := a.Data[i*a.Stride+k0 : i*a.Stride+k1]
+		for kk, av := range arow {
+			if av == 0 {
+				continue
+			}
+			brow := b.Data[(k0+kk)*b.Stride+j0 : (k0+kk)*b.Stride+j1]
+			for j, bv := range brow {
+				crow[j] += av * bv
+			}
+		}
+	}
+}
+
+// MulNaive is the textbook triple loop, used only as an independent
+// oracle in tests.
+func MulNaive(c, a, b *Matrix) {
+	if a.Cols != b.Rows || c.Rows != a.Rows || c.Cols != b.Cols {
+		panic(ErrShape)
+	}
+	for i := 0; i < c.Rows; i++ {
+		for j := 0; j < c.Cols; j++ {
+			var s float64
+			for k := 0; k < a.Cols; k++ {
+				s += a.At(i, k) * b.At(k, j)
+			}
+			c.Set(i, j, s)
+		}
+	}
+}

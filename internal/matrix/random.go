@@ -1,0 +1,116 @@
+package matrix
+
+import "math/rand/v2"
+
+// Dist identifies one of the input distributions used in the paper's
+// experiments (Sections VI-A and VI-C).
+type Dist int
+
+const (
+	// DistSymmetric is i.i.d. Uniform(-1, 1), the benign distribution of
+	// Figure 2(C).
+	DistSymmetric Dist = iota
+	// DistPositive is i.i.d. Uniform(0, 1), the non-negative distribution
+	// of Figure 2(D) and "distribution 1" of Section VI-C.
+	DistPositive
+	// DistAdversarialOutside is "distribution 2" of Section VI-C,
+	// designed so that outside scaling is ineffective: for A, entries in
+	// columns j > N/2 are Uniform(0, 1/N²); for B, entries in rows
+	// i < N/2 are Uniform(0, 1/N²); all other entries are Uniform(0, 1).
+	DistAdversarialOutside
+	// DistAdversarialInside is "distribution 3" of Section VI-C, designed
+	// so that inside scaling is ineffective: for A, entries with i < N/2
+	// and j > N/2 are Uniform(0, N²); for B, entries in columns j < N/2
+	// are Uniform(0, 1/N²); all other entries are Uniform(0, 1).
+	DistAdversarialInside
+)
+
+// String returns the experiment label of the distribution.
+func (d Dist) String() string {
+	switch d {
+	case DistSymmetric:
+		return "uniform(-1,1)"
+	case DistPositive:
+		return "uniform(0,1)"
+	case DistAdversarialOutside:
+		return "adversarial-vs-outside"
+	case DistAdversarialInside:
+		return "adversarial-vs-inside"
+	}
+	return "unknown"
+}
+
+// Rand returns a new deterministic PRNG for the given seed. Experiments
+// derive per-run seeds from a base seed so results are reproducible.
+func Rand(seed uint64) *rand.Rand {
+	return rand.New(rand.NewPCG(seed, seed^0x9e3779b97f4a7c15))
+}
+
+// FillUniform fills m with i.i.d. Uniform(lo, hi) entries.
+func (m *Matrix) FillUniform(rng *rand.Rand, lo, hi float64) {
+	span := hi - lo
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		for j := range row {
+			row[j] = lo + span*rng.Float64()
+		}
+	}
+}
+
+// FillPair fills a and b (the two multiplication operands) according to
+// dist. The adversarial distributions treat A and B asymmetrically, so
+// both operands must be filled together. n is the nominal matrix
+// dimension N used in the distribution definitions; pass a.Rows for
+// square experiments.
+func FillPair(a, b *Matrix, dist Dist, rng *rand.Rand) {
+	switch dist {
+	case DistSymmetric:
+		a.FillUniform(rng, -1, 1)
+		b.FillUniform(rng, -1, 1)
+	case DistPositive:
+		a.FillUniform(rng, 0, 1)
+		b.FillUniform(rng, 0, 1)
+	case DistAdversarialOutside:
+		n := float64(a.Rows)
+		tiny := 1 / (n * n)
+		fillRegion(a, rng, func(i, j int) float64 {
+			if j > a.Cols/2 {
+				return tiny
+			}
+			return 1
+		})
+		fillRegion(b, rng, func(i, j int) float64 {
+			if i < b.Rows/2 {
+				return tiny
+			}
+			return 1
+		})
+	case DistAdversarialInside:
+		n := float64(a.Rows)
+		big, tiny := n*n, 1/(n*n)
+		fillRegion(a, rng, func(i, j int) float64 {
+			if i < a.Rows/2 && j > a.Cols/2 {
+				return big
+			}
+			return 1
+		})
+		fillRegion(b, rng, func(i, j int) float64 {
+			if j < b.Cols/2 {
+				return tiny
+			}
+			return 1
+		})
+	default:
+		panic("matrix: unknown distribution")
+	}
+}
+
+// fillRegion fills m with Uniform(0, hi(i,j)) entries.
+func fillRegion(m *Matrix, rng *rand.Rand, hi func(i, j int) float64) {
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		for j := range row {
+			row[j] = hi(i, j) * rng.Float64()
+		}
+	}
+}

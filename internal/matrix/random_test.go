@@ -1,0 +1,87 @@
+package matrix
+
+import (
+	"math"
+	"testing"
+)
+
+func TestFillUniformRange(t *testing.T) {
+	m := New(50, 50)
+	m.FillUniform(Rand(42), -1, 1)
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for i := 0; i < m.Rows; i++ {
+		for _, v := range m.Row(i) {
+			lo, hi = math.Min(lo, v), math.Max(hi, v)
+		}
+	}
+	if lo < -1 || hi >= 1 {
+		t.Fatalf("values outside [-1,1): [%g,%g]", lo, hi)
+	}
+	if lo > -0.5 || hi < 0.5 {
+		t.Fatalf("suspiciously narrow spread: [%g,%g]", lo, hi)
+	}
+}
+
+func TestRandDeterministic(t *testing.T) {
+	a, b := New(8, 8), New(8, 8)
+	a.FillUniform(Rand(7), 0, 1)
+	b.FillUniform(Rand(7), 0, 1)
+	if !Equal(a, b) {
+		t.Fatal("same seed produced different matrices")
+	}
+	b.FillUniform(Rand(8), 0, 1)
+	if Equal(a, b) {
+		t.Fatal("different seeds produced identical matrices")
+	}
+}
+
+func TestFillPairDistributions(t *testing.T) {
+	const n = 64
+	for _, d := range []Dist{DistSymmetric, DistPositive, DistAdversarialOutside, DistAdversarialInside} {
+		a, b := New(n, n), New(n, n)
+		FillPair(a, b, d, Rand(1))
+		if a.MaxNorm() == 0 || b.MaxNorm() == 0 {
+			t.Fatalf("%v: zero fill", d)
+		}
+		if d.String() == "unknown" {
+			t.Fatalf("missing String for %d", d)
+		}
+	}
+}
+
+func TestAdversarialOutsideShape(t *testing.T) {
+	const n = 64
+	a, b := New(n, n), New(n, n)
+	FillPair(a, b, DistAdversarialOutside, Rand(3))
+	tiny := 1.0 / (n * n)
+	// Right half of A's columns must be tiny, left half O(1).
+	if a.View(0, n/2+1, n, n/2-1).MaxNorm() > tiny {
+		t.Fatal("A right columns not tiny")
+	}
+	if a.View(0, 0, n, n/2).MaxNorm() < 0.5 {
+		t.Fatal("A left columns unexpectedly small")
+	}
+	// Top half of B's rows must be tiny.
+	if b.View(0, 0, n/2, n).MaxNorm() > tiny {
+		t.Fatal("B top rows not tiny")
+	}
+}
+
+func TestAdversarialInsideShape(t *testing.T) {
+	const n = 64
+	a, b := New(n, n), New(n, n)
+	FillPair(a, b, DistAdversarialInside, Rand(3))
+	// Top-right quadrant of A is huge.
+	if a.View(0, n/2+1, n/2, n/2-1).MaxNorm() < 10 {
+		t.Fatal("A top-right quadrant not large")
+	}
+	// Left half of B's columns is tiny.
+	if b.View(0, 0, n, n/2).MaxNorm() > 1.0/(n*n) {
+		t.Fatal("B left columns not tiny")
+	}
+}
+
+func TestFillPairUnknownDistPanics(t *testing.T) {
+	defer expectPanic(t, "unknown dist")
+	FillPair(New(2, 2), New(2, 2), Dist(99), Rand(1))
+}

@@ -1,0 +1,147 @@
+// Package parallel provides lightweight shared-memory parallelism
+// primitives used throughout the library: a bounded task pool for
+// recursive divide-and-conquer work and a grain-controlled parallel
+// for-loop for flat linear-algebra kernels.
+//
+// The design mirrors the OpenMP usage in the paper's reference
+// implementation: linear combinations (matrix additions, basis
+// transformations) are parallelized as flat loops over row blocks, while
+// the recursive bilinear phase spawns tasks down to a bounded depth and
+// then continues sequentially.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// DefaultWorkers returns the default degree of parallelism,
+// runtime.GOMAXPROCS(0).
+func DefaultWorkers() int { return runtime.GOMAXPROCS(0) }
+
+// For runs body(i) for every i in [0, n) using up to workers goroutines.
+// Iterations are distributed in contiguous chunks of at least grain
+// iterations to amortize scheduling overhead and preserve spatial
+// locality. If workers <= 1, n <= grain, or n is small, the loop runs
+// sequentially on the calling goroutine.
+func For(n, workers, grain int, body func(i int)) {
+	ForChunks(n, workers, grain, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			body(i)
+		}
+	})
+}
+
+// ForChunks partitions [0, n) into contiguous chunks of at least grain
+// iterations and runs body(lo, hi) for each chunk using up to workers
+// goroutines. The caller's goroutine participates, so ForChunks never
+// deadlocks when invoked from inside another ForChunks body.
+func ForChunks(n, workers, grain int, body func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	if grain < 1 {
+		grain = 1
+	}
+	if workers < 1 {
+		workers = DefaultWorkers()
+	}
+	chunks := (n + grain - 1) / grain
+	if workers > chunks {
+		workers = chunks
+	}
+	if workers == 1 {
+		body(0, n)
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	worker := func() {
+		for {
+			c := int(next.Add(1)) - 1
+			if c >= chunks {
+				return
+			}
+			lo := c * grain
+			hi := lo + grain
+			if hi > n {
+				hi = n
+			}
+			body(lo, hi)
+		}
+	}
+	wg.Add(workers - 1)
+	for w := 1; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			worker()
+		}()
+	}
+	worker()
+	wg.Wait()
+}
+
+// Do runs the given thunks, each in its own goroutine when workers
+// permit, and waits for all of them. It is the "parallel sections"
+// primitive used to overlap independent recursive calls.
+func Do(fns ...func()) {
+	if len(fns) == 0 {
+		return
+	}
+	if len(fns) == 1 {
+		fns[0]()
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(len(fns) - 1)
+	for _, fn := range fns[1:] {
+		go func() {
+			defer wg.Done()
+			fn()
+		}()
+	}
+	fns[0]()
+	wg.Wait()
+}
+
+// Limiter bounds the number of concurrently outstanding spawned tasks.
+// Recursive algorithms use it to spawn goroutines near the top of the
+// recursion tree and fall back to sequential execution once the
+// budget is exhausted, keeping goroutine counts proportional to the
+// number of processors rather than to the problem size.
+type Limiter struct {
+	slots chan struct{}
+}
+
+// NewLimiter returns a Limiter that allows up to n concurrently
+// spawned tasks. n < 1 is treated as 1.
+func NewLimiter(n int) *Limiter {
+	if n < 1 {
+		n = 1
+	}
+	return &Limiter{slots: make(chan struct{}, n)}
+}
+
+// TrySpawn runs fn in a new goroutine if a slot is available and
+// reports whether it did; the slot is released and wg signalled when fn
+// returns. When it returns false the caller should run fn inline.
+func (l *Limiter) TrySpawn(wg *sync.WaitGroup, fn func()) bool {
+	if l == nil {
+		return false
+	}
+	select {
+	case l.slots <- struct{}{}:
+		wg.Add(1)
+		go func() {
+			defer func() {
+				<-l.slots
+				wg.Done()
+			}()
+			fn()
+		}()
+		return true
+	default:
+		return false
+	}
+}

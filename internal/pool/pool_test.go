@@ -1,0 +1,55 @@
+package pool
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestGetLengthAndCapacity(t *testing.T) {
+	f := func(n uint16) bool {
+		buf := Get(int(n))
+		if len(buf) != int(n) {
+			return false
+		}
+		if n > 0 && cap(buf) < int(n) {
+			return false
+		}
+		Put(buf)
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGetZero(t *testing.T) {
+	if buf := Get(0); buf != nil {
+		t.Fatal("Get(0) should be nil")
+	}
+	Put(nil) // must not panic
+}
+
+func TestReuseRoundTrip(t *testing.T) {
+	// A released buffer of a size class should be reused for requests
+	// in the same class (best-effort: sync.Pool may drop it, so only
+	// assert correctness, not identity).
+	a := Get(1000)
+	for i := range a {
+		a[i] = float64(i)
+	}
+	Put(a)
+	b := Get(900)
+	if len(b) != 900 {
+		t.Fatalf("len %d", len(b))
+	}
+	// Contents are unspecified; must still be writable over full range.
+	for i := range b {
+		b[i] = -1
+	}
+	Put(b)
+}
+
+func TestPutForeignBufferIgnored(t *testing.T) {
+	// Non-power-of-two capacity buffers are not pooled; must not panic.
+	Put(make([]float64, 3, 7))
+}

@@ -1,0 +1,89 @@
+package schedule
+
+import (
+	"fmt"
+	"math/big"
+
+	"abmm/internal/exact"
+)
+
+// Decompose factors a coefficient matrix m (D×R, columns = linear
+// combinations over D inputs) as m = φ·m_φ where φ = [I | g₁ g₂ ...]
+// appends hoisted common-subexpression basis vectors and m_φ is the
+// rewritten, sparser operator over the enlarged dimension. This is the
+// higher-dimension decomposition of the Beniamini–Schwartz framework
+// (used by the Figure 3 experiments): each hoisted dimension moves one
+// shared addition out of the bilinear phase into the basis
+// transformation.
+//
+// maxDims bounds how many dimensions are added (0 = unlimited: hoist
+// until no pair repeats). The factorization is exact and verified
+// before returning.
+func Decompose(m *exact.Matrix, maxDims int) (phi, mPhi *exact.Matrix) {
+	d := m.Rows
+	targets := make([]combo, m.Cols)
+	for t := range targets {
+		targets[t] = make(combo)
+		for i := 0; i < d; i++ {
+			if v := m.At(i, t); v.Sign() != 0 {
+				targets[t][i] = new(big.Rat).Set(v)
+			}
+		}
+	}
+	b := &builder{numInputs: d}
+	b.nextReg = d
+	added := 0
+	for maxDims <= 0 || added < maxDims {
+		best, count := b.bestPair(targets)
+		if count < 2 {
+			break
+		}
+		b.hoist(best, targets)
+		added++
+	}
+	// φ columns: unit vectors for the original dims, then the expansion
+	// of each hoisted register over the original inputs.
+	dims := d + added
+	phi = exact.New(d, dims)
+	for i := 0; i < d; i++ {
+		phi.SetInt(i, i, 1)
+	}
+	// Expand hoisted registers in op order (each op references only
+	// earlier registers).
+	expansion := make([]map[int]*big.Rat, b.nextReg)
+	for i := 0; i < d; i++ {
+		expansion[i] = map[int]*big.Rat{i: big.NewRat(1, 1)}
+	}
+	for _, op := range b.ops {
+		e := make(map[int]*big.Rat)
+		for i, v := range expansion[op.a] {
+			e[i] = new(big.Rat).Mul(v, op.ca)
+		}
+		for i, v := range expansion[op.b] {
+			p := new(big.Rat).Mul(v, op.cb)
+			if cur := e[i]; cur != nil {
+				cur.Add(cur, p)
+				if cur.Sign() == 0 {
+					delete(e, i)
+				}
+			} else if p.Sign() != 0 {
+				e[i] = p
+			}
+		}
+		expansion[op.dst] = e
+		for i, v := range e {
+			phi.Set(i, op.dst, v)
+		}
+	}
+	// m_φ: rewritten targets over the enlarged dimension.
+	mPhi = exact.New(dims, m.Cols)
+	for t, c := range targets {
+		for reg, v := range c {
+			mPhi.Set(reg, t, v)
+		}
+	}
+	if !exact.Equal(exact.Mul(phi, mPhi), m) {
+		panic(fmt.Sprintf("schedule: Decompose invariant violated for %dx%d operator", m.Rows, m.Cols))
+	}
+	return phi, mPhi
+}

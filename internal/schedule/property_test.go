@@ -1,0 +1,106 @@
+package schedule
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+
+	"abmm/internal/exact"
+)
+
+// TestCompileNeverExceedsRawAdditions: CSE can only save work relative
+// to the naive per-column chains, and compilation is internally
+// verified, so Compile succeeding is itself a correctness statement.
+func TestCompileNeverExceedsRawAdditions(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, seed+1))
+		rows := rng.IntN(6) + 2
+		cols := rng.IntN(8) + 1
+		m := exact.New(rows, cols)
+		raw := 0
+		for c := 0; c < cols; c++ {
+			nnz := 0
+			for r := 0; r < rows; r++ {
+				v := int64(rng.IntN(5) - 2)
+				m.SetInt(r, c, v)
+				if v != 0 {
+					nnz++
+				}
+			}
+			if nnz > 1 {
+				raw += nnz - 1
+			}
+		}
+		p := Compile(m) // panics on any verification failure
+		return p.Additions() <= raw
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCompileDyadicFractions exercises dyadic rational coefficients.
+func TestCompileDyadicFractions(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, seed^77))
+		m := exact.New(4, 5)
+		for r := 0; r < 4; r++ {
+			for c := 0; c < 5; c++ {
+				num := int64(rng.IntN(9) - 4)
+				den := int64(1 << rng.IntN(3))
+				m.SetFrac(r, c, num, den)
+			}
+		}
+		_ = Compile(m) // must not panic (all coefficients dyadic)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDecomposeInvariantProperty: φ·m_φ = m for random integer
+// operators, at every dimension budget.
+func TestDecomposeInvariantProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, seed^123))
+		rows := rng.IntN(5) + 2
+		cols := rng.IntN(9) + 2
+		m := exact.New(rows, cols)
+		for r := 0; r < rows; r++ {
+			for c := 0; c < cols; c++ {
+				m.SetInt(r, c, int64(rng.IntN(3)-1))
+			}
+		}
+		for _, budget := range []int{0, 1, 3} {
+			phi, mphi := Decompose(m, budget) // panics if φ·m_φ ≠ m
+			if phi.Rows != rows || mphi.Cols != cols {
+				return false
+			}
+			if budget > 0 && phi.Cols > rows+budget {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDecomposeReducesNNZWhenShared: hoisting a pair that occurs twice
+// must strictly shrink the operator.
+func TestDecomposeReducesNNZWhenShared(t *testing.T) {
+	m := exact.FromRows([][]int64{
+		{1, 1, 0},
+		{1, 1, 1},
+		{0, 0, 1},
+	})
+	phi, mphi := Decompose(m, 0)
+	if phi.Cols <= 3 {
+		t.Fatal("no dimension added despite shared pair")
+	}
+	if mphi.NNZ() >= m.NNZ() {
+		t.Fatalf("operator nnz %d not below original %d", mphi.NNZ(), m.NNZ())
+	}
+}

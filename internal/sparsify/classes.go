@@ -1,0 +1,119 @@
+package sparsify
+
+import (
+	"fmt"
+	"sort"
+
+	"abmm/internal/exact"
+	"abmm/internal/stability"
+)
+
+// ClassEntry summarizes one stability class encountered in an orbit
+// survey: the sorted stability vector (the Bini–Lotti equivalence
+// signature), the stability factor, the best (fewest) raw operator
+// additions seen in the class, and how many orbit elements landed in
+// it.
+type ClassEntry struct {
+	Signature string
+	Factor    float64
+	BestAdds  int
+	Count     int
+}
+
+// ClassSurvey walks the isotropy orbit of the triple ⟨u,v,w⟩ under
+// (P,Q,R) drawn from gens and buckets the elements by stability vector,
+// reproducing the Bini–Lotti classification experiment: for Strassen's
+// algorithm the survey finds multiple stability classes with minimal
+// stability factor 12, exhibiting the speed-stability trade-off inside
+// the ⟨2,2,2;7⟩ family. maxTriples bounds the scan (0 = all).
+func ClassSurvey(m0, k0, n0 int, u, v, w *exact.Matrix, gens []*exact.Matrix, maxTriples int) ([]ClassEntry, error) {
+	inverses := make([]*exact.Matrix, len(gens))
+	transposes := make([]*exact.Matrix, len(gens))
+	for i, g := range gens {
+		gi, err := g.Inverse()
+		if err != nil {
+			return nil, fmt.Errorf("sparsify: generator %d singular", i)
+		}
+		inverses[i] = gi
+		transposes[i] = g.Transpose()
+	}
+	classes := map[string]*ClassEntry{}
+	seen := 0
+	for ip := range gens {
+		for iq := range gens {
+			uStd := exact.Mul(exact.Kronecker(transposes[ip], inverses[iq]), u)
+			for ir := range gens {
+				if maxTriples > 0 && seen >= maxTriples {
+					goto done
+				}
+				seen++
+				vStd := exact.Mul(exact.Kronecker(transposes[iq], inverses[ir]), v)
+				wStd := exact.Mul(exact.Kronecker(inverses[ip], transposes[ir]), w)
+				vec := stability.Vector(uStd, vStd, wStd)
+				sig := make([]string, len(vec))
+				for i, e := range vec {
+					sig[i] = e.RatString()
+				}
+				sort.Strings(sig)
+				key := fmt.Sprint(sig)
+				adds := rawAdds(uStd) + rawAdds(vStd) + rawAddsRows(wStd)
+				entry, ok := classes[key]
+				if !ok {
+					f, _ := stability.MaxRatOfVector(uStd, vStd, wStd).Float64()
+					entry = &ClassEntry{Signature: key, Factor: f, BestAdds: adds}
+					classes[key] = entry
+				}
+				entry.Count++
+				if adds < entry.BestAdds {
+					entry.BestAdds = adds
+				}
+			}
+		}
+	}
+done:
+	out := make([]ClassEntry, 0, len(classes))
+	for _, e := range classes {
+		out = append(out, *e)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Factor != out[j].Factor {
+			return out[i].Factor < out[j].Factor
+		}
+		return out[i].BestAdds < out[j].BestAdds
+	})
+	return out, nil
+}
+
+// rawAdds counts encoding additions (per column combinations).
+func rawAdds(m *exact.Matrix) int {
+	total := 0
+	for c := 0; c < m.Cols; c++ {
+		nnz := 0
+		for r := 0; r < m.Rows; r++ {
+			if m.At(r, c).Sign() != 0 {
+				nnz++
+			}
+		}
+		if nnz > 1 {
+			total += nnz - 1
+		}
+	}
+	return total
+}
+
+// rawAddsRows counts decoding additions (per row combinations).
+func rawAddsRows(m *exact.Matrix) int {
+	total := 0
+	for r := 0; r < m.Rows; r++ {
+		nnz := 0
+		for c := 0; c < m.Cols; c++ {
+			if m.At(r, c).Sign() != 0 {
+				nnz++
+			}
+		}
+		if nnz > 1 {
+			total += nnz - 1
+		}
+	}
+	return total
+}

@@ -1,0 +1,146 @@
+package sparsify
+
+import (
+	"fmt"
+	"math/big"
+	"math/rand/v2"
+
+	"abmm/internal/algos"
+	"abmm/internal/exact"
+)
+
+// Search configures the greedy basis-sparsification search.
+type Search struct {
+	// Restarts is the number of random restarts per operator.
+	Restarts int
+	// Perturbations is the number of random elementary moves used to
+	// escape a local minimum within a restart.
+	Perturbations int
+	// Seed makes the search deterministic.
+	Seed uint64
+}
+
+// DefaultSearch returns a configuration that reliably finds the known
+// optimal ⟨2,2,2;7⟩ decompositions within a few seconds.
+func DefaultSearch() Search {
+	return Search{Restarts: 400, Perturbations: 30, Seed: 1}
+}
+
+// Sparsify finds basis transformations φ, ψ, ν that sparsify the
+// operators of a standard-basis algorithm ("speeding up a stable
+// algorithm", Section IV-B): it hill-climbs over sequences of
+// elementary row operations applied to each operator, maintaining the
+// exact invariants U = φ·U_φ, V = ψ·V_ψ, W = ν·W_ν, and returns the
+// alternative basis algorithm built from the sparsest operators found.
+// The standard-basis representation — hence the stability factor — is
+// unchanged by construction.
+func Sparsify(base *algos.Algorithm, cfg Search) (*algos.Algorithm, error) {
+	if base.IsAltBasis() {
+		return nil, fmt.Errorf("sparsify: base must be a standard-basis algorithm")
+	}
+	s := base.Spec
+	rng := rand.New(rand.NewPCG(cfg.Seed, cfg.Seed^0xabcdef))
+	phi := sparsifyOperator(s.U, cfg, rng)
+	psi := sparsifyOperator(s.V, cfg, rng)
+	nu := sparsifyOperator(s.W, cfg, rng)
+	return algos.AltBasis(base.Name+"-alt", base, phi, psi, nu)
+}
+
+// sparsifyOperator searches for an invertible basis φ minimizing the
+// addition count of φ⁻¹·X, returning the best φ found.
+func sparsifyOperator(x *exact.Matrix, cfg Search, rng *rand.Rand) *exact.Matrix {
+	d := x.Rows
+	bestPhi := exact.Identity(d)
+	bestScore := score(x, bestPhi)
+	for restart := 0; restart < cfg.Restarts; restart++ {
+		// state: cur = φ⁻¹X (the bilinear operator), phi with invariant
+		// φ·cur = X.
+		cur := x.Clone()
+		phi := exact.Identity(d)
+		if restart > 0 {
+			for p := 0; p < rng.IntN(cfg.Perturbations)+1; p++ {
+				i, j := rng.IntN(d), rng.IntN(d)
+				if i == j {
+					continue
+				}
+				s := int64(1 - 2*rng.IntN(2))
+				applyMove(cur, phi, i, j, s)
+			}
+		}
+		descend(cur, phi, rng)
+		if sc := score(cur, phi); sc < bestScore {
+			bestScore = sc
+			bestPhi = phi.Clone()
+		}
+	}
+	return bestPhi
+}
+
+// applyMove performs the elementary operation row_i += s·row_j on the
+// operator and the compensating column operation col_j -= s·col_i on
+// φ, preserving the invariant φ·operator = X.
+func applyMove(op, phi *exact.Matrix, i, j int, s int64) {
+	sr := big.NewRat(s, 1)
+	var t big.Rat
+	for c := 0; c < op.Cols; c++ {
+		t.Mul(op.At(j, c), sr)
+		t.Add(op.At(i, c), &t)
+		op.Set(i, c, &t)
+	}
+	for r := 0; r < phi.Rows; r++ {
+		t.Mul(phi.At(r, i), sr)
+		t.Sub(phi.At(r, j), &t)
+		phi.Set(r, j, &t)
+	}
+}
+
+// descend applies steepest-descent elementary moves until no move
+// improves the score, walking plateaus (equal-score moves) a bounded
+// number of random steps to escape shallow local minima.
+func descend(op, phi *exact.Matrix, rng *rand.Rand) {
+	d := op.Rows
+	plateau := 0
+	const maxPlateau = 12
+	for {
+		cur := score(op, phi)
+		bestI, bestJ, bestS, bestSc := -1, -1, int64(0), cur+1
+		var evenI, evenJ []int
+		var evenS []int64
+		for i := 0; i < d; i++ {
+			for j := 0; j < d; j++ {
+				if i == j {
+					continue
+				}
+				for _, s := range []int64{1, -1} {
+					applyMove(op, phi, i, j, s)
+					sc := score(op, phi)
+					if sc < bestSc {
+						bestI, bestJ, bestS, bestSc = i, j, s, sc
+					} else if sc == cur {
+						evenI, evenJ, evenS = append(evenI, i), append(evenJ, j), append(evenS, s)
+					}
+					applyMove(op, phi, i, j, -s) // undo
+				}
+			}
+		}
+		switch {
+		case bestSc < cur:
+			applyMove(op, phi, bestI, bestJ, bestS)
+			plateau = 0
+		case len(evenI) > 0 && plateau < maxPlateau:
+			t := rng.IntN(len(evenI))
+			applyMove(op, phi, evenI[t], evenJ[t], evenS[t])
+			plateau++
+		default:
+			return
+		}
+	}
+}
+
+// score is the search objective: bilinear operator nonzeros weighted
+// heavily (they set the leading-coefficient addition count), plus the
+// transform's own nonzeros (which land in the lower-order n²·log n
+// term) as a tiebreaker.
+func score(op, phi *exact.Matrix) int {
+	return 16*op.NNZ() + phi.NNZ()
+}

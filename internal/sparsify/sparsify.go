@@ -1,0 +1,126 @@
+// Package sparsify implements the searches behind Section IV of the
+// paper ("Fast and Stable Algorithms"):
+//
+//   - OrbitSearch walks the isotropy orbit of a base algorithm
+//     (Claim II.3 / IV.1) looking for the orbit element that a given set
+//     of basis transformations sparsifies best — the workflow that
+//     produces the paper's ⟨2,2,2;7⟩ algorithm with leading coefficient
+//     5 and stability factor 12 from Strassen's algorithm and the
+//     Appendix A bases.
+//
+//   - Sparsify performs a greedy elimination search for basis
+//     transformations that sparsify a given algorithm's operators
+//     ("speeding up a stable algorithm", Section IV-B), used to build
+//     alternative basis versions of ⟨3,3,3;23⟩ algorithms for Figures 1
+//     and 3.
+package sparsify
+
+import (
+	"fmt"
+
+	"abmm/internal/exact"
+)
+
+// Invertible2x2 enumerates the invertible 2×2 matrices with entries in
+// the given coefficient set. It is the generator set for orbit
+// searches over ⟨2,2,2⟩ algorithms; the paper's coefficient class
+// ℍ = {0, ±2^i} motivates sets like {0, ±1} and {0, ±1, ±2, ±1/2}.
+func Invertible2x2(coeffs []int64) []*exact.Matrix {
+	var out []*exact.Matrix
+	for _, a := range coeffs {
+		for _, b := range coeffs {
+			for _, c := range coeffs {
+				for _, d := range coeffs {
+					if a*d-b*c == 0 {
+						continue
+					}
+					out = append(out, exact.FromRows([][]int64{{a, b}, {c, d}}))
+				}
+			}
+		}
+	}
+	return out
+}
+
+// OrbitResult is one evaluated orbit element.
+type OrbitResult struct {
+	P, Q, R         *exact.Matrix // the isotropy action applied to the base
+	U, V, W         *exact.Matrix // standard-basis operators of the orbit element
+	UPhi, VPsi, WNu *exact.Matrix // bilinear operators after the basis change
+	NNZ             int           // nnz(UPhi)+nnz(VPsi)+nnz(WNu)
+}
+
+// OrbitSearch scans the orbit of the standard-basis triple ⟨u,v,w⟩
+// under the isotropy action with generator matrices gens (applied as P,
+// Q, R), and returns the element minimizing the total nonzero count of
+// the transformed bilinear operators φ⁻¹U′, ψ⁻¹V′, ν⁻¹W′. accept, if
+// non-nil, filters candidates (e.g. on stability factor) before they
+// compete on sparsity.
+func OrbitSearch(m0, k0, n0 int, u, v, w *exact.Matrix, phi, psi, nu *exact.Matrix,
+	gens []*exact.Matrix, accept func(u, v, w *exact.Matrix) bool) (*OrbitResult, error) {
+
+	phiInv, err := phi.Inverse()
+	if err != nil {
+		return nil, fmt.Errorf("sparsify: φ: %w", err)
+	}
+	psiInv, err := psi.Inverse()
+	if err != nil {
+		return nil, fmt.Errorf("sparsify: ψ: %w", err)
+	}
+	nuInv, err := nu.Inverse()
+	if err != nil {
+		return nil, fmt.Errorf("sparsify: ν: %w", err)
+	}
+
+	inverses := make([]*exact.Matrix, len(gens))
+	transposes := make([]*exact.Matrix, len(gens))
+	for i, g := range gens {
+		gi, err := g.Inverse()
+		if err != nil {
+			return nil, fmt.Errorf("sparsify: generator %d singular", i)
+		}
+		inverses[i] = gi
+		transposes[i] = g.Transpose()
+	}
+
+	var best *OrbitResult
+	// U′ = (Pᵀ⊗Q⁻¹)U depends on (P,Q); V′ = (Qᵀ⊗R⁻¹)V on (Q,R);
+	// W′ = (P⁻¹⊗Rᵀ)W on (P,R). Precompute per-pair sparsity to prune.
+	for ip := range gens {
+		for iq := range gens {
+			uP := exact.Mul(phiInv, exact.Mul(exact.Kronecker(transposes[ip], inverses[iq]), u))
+			nnzU := uP.NNZ()
+			if best != nil && nnzU >= best.NNZ {
+				continue
+			}
+			for ir := range gens {
+				vP := exact.Mul(psiInv, exact.Mul(exact.Kronecker(transposes[iq], inverses[ir]), v))
+				nnzV := vP.NNZ()
+				if best != nil && nnzU+nnzV >= best.NNZ {
+					continue
+				}
+				wP := exact.Mul(nuInv, exact.Mul(exact.Kronecker(inverses[ip], transposes[ir]), w))
+				total := nnzU + nnzV + wP.NNZ()
+				if best != nil && total >= best.NNZ {
+					continue
+				}
+				uStd := exact.Mul(exact.Kronecker(transposes[ip], inverses[iq]), u)
+				vStd := exact.Mul(exact.Kronecker(transposes[iq], inverses[ir]), v)
+				wStd := exact.Mul(exact.Kronecker(inverses[ip], transposes[ir]), w)
+				if accept != nil && !accept(uStd, vStd, wStd) {
+					continue
+				}
+				best = &OrbitResult{
+					P: gens[ip], Q: gens[iq], R: gens[ir],
+					U: uStd, V: vStd, W: wStd,
+					UPhi: uP, VPsi: vP, WNu: wP,
+					NNZ: total,
+				}
+			}
+		}
+	}
+	if best == nil {
+		return nil, fmt.Errorf("sparsify: no acceptable orbit element found")
+	}
+	return best, nil
+}

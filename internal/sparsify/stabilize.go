@@ -1,0 +1,60 @@
+package sparsify
+
+import (
+	"fmt"
+	"math/big"
+
+	"abmm/internal/algos"
+	"abmm/internal/exact"
+	"abmm/internal/stability"
+)
+
+// Stabilize performs the Section IV-A workflow ("stabilizing an
+// existing fast algorithm"): it searches the Claim IV.1 action over
+// (P,Q,R) triples from gens for replacement basis transformations that
+// bring the algorithm's stability factor down to targetE while keeping
+// the bilinear phase — hence the arithmetic and communication leading
+// coefficients — untouched. Among the qualifying triples it returns the
+// one whose transformations are sparsest (cheapest n²·log n term).
+//
+// Applied to the alternative basis Winograd algorithm (stability factor
+// 18) with sign-matrix generators and targetE = 12, it reproduces the
+// paper's construction of its fast-and-stable algorithm from the
+// Schwartz–Vaknin algorithm.
+func Stabilize(alg *algos.Algorithm, gens []*exact.Matrix, targetE int64) (*algos.Algorithm, error) {
+	target := big.NewRat(targetE, 1)
+	var best *algos.Algorithm
+	bestNNZ := 1 << 30
+	for _, p := range gens {
+		for _, q := range gens {
+			for _, r := range gens {
+				cand, err := algos.Restabilize(alg, p, q, r)
+				if err != nil {
+					continue
+				}
+				u, v, w := cand.StandardUVW()
+				if stability.MaxRatOfVector(u, v, w).Cmp(target) > 0 {
+					continue
+				}
+				nnz := 0
+				if cand.Phi != nil {
+					nnz += cand.Phi.M.NNZ()
+				}
+				if cand.Psi != nil {
+					nnz += cand.Psi.M.NNZ()
+				}
+				if cand.Nu != nil {
+					nnz += cand.Nu.M.NNZ()
+				}
+				if nnz < bestNNZ {
+					bestNNZ = nnz
+					best = cand
+				}
+			}
+		}
+	}
+	if best == nil {
+		return nil, fmt.Errorf("sparsify: no transformation reaches stability factor ≤ %d", targetE)
+	}
+	return best, nil
+}

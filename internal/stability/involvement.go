@@ -1,0 +1,79 @@
+package stability
+
+import (
+	"abmm/internal/algos"
+	"abmm/internal/exact"
+)
+
+// InvolvementStandard reports which A-blocks are involved in each
+// output block when the algorithm runs in the standard basis: entry
+// [k][i] is true iff some product r has u_ir ≠ 0 and w_kr ≠ 0
+// (Equation (2) of the paper).
+func InvolvementStandard(u, w *exact.Matrix) [][]bool {
+	out := boolMatrix(w.Rows, u.Rows)
+	for r := 0; r < u.Cols; r++ {
+		for k := 0; k < w.Rows; k++ {
+			if w.At(k, r).Sign() == 0 {
+				continue
+			}
+			for i := 0; i < u.Rows; i++ {
+				if u.At(i, r).Sign() != 0 {
+					out[k][i] = true
+				}
+			}
+		}
+	}
+	return out
+}
+
+// InvolvementAlt reports which A-blocks are involved in each output
+// block when the algorithm runs through its basis transformations:
+// block i reaches output k iff there are p, r, q with φ_ip ≠ 0,
+// u^φ_pr ≠ 0, w^ν_qr ≠ 0, and ν_kq ≠ 0 — the chain in the proof of
+// Claim V.2.
+func InvolvementAlt(alg *algos.Algorithm) [][]bool {
+	s := alg.Spec
+	phi, _, nu := transformOrIdentity(alg)
+	uPhi, wNu := s.U, s.W
+	out := boolMatrix(nu.Rows, phi.Rows)
+	// reach[p][q]: basis coordinate p of A feeds basis coordinate q of C.
+	reach := boolMatrix(uPhi.Rows, wNu.Rows)
+	for r := 0; r < s.R; r++ {
+		for p := 0; p < uPhi.Rows; p++ {
+			if uPhi.At(p, r).Sign() == 0 {
+				continue
+			}
+			for q := 0; q < wNu.Rows; q++ {
+				if wNu.At(q, r).Sign() != 0 {
+					reach[p][q] = true
+				}
+			}
+		}
+	}
+	for i := 0; i < phi.Rows; i++ {
+		for p := 0; p < phi.Cols; p++ {
+			if phi.At(i, p).Sign() == 0 {
+				continue
+			}
+			for q := 0; q < wNu.Rows; q++ {
+				if !reach[p][q] {
+					continue
+				}
+				for k := 0; k < nu.Rows; k++ {
+					if nu.At(k, q).Sign() != 0 {
+						out[k][i] = true
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+func boolMatrix(r, c int) [][]bool {
+	out := make([][]bool, r)
+	for i := range out {
+		out[i] = make([]bool, c)
+	}
+	return out
+}

@@ -1,0 +1,68 @@
+package stability
+
+import (
+	"testing"
+
+	"abmm/internal/algos"
+)
+
+// TestClaimV2InvolvementContainment verifies Claim V.2 structurally:
+// every A-block involved in an output block by the standard-basis
+// computation is also involved by the alternative basis computation.
+func TestClaimV2InvolvementContainment(t *testing.T) {
+	for _, alt := range []*algos.Algorithm{algos.Ours(), algos.AltWinograd(), algos.LadermanAlt()} {
+		u, _, w := alt.StandardUVW()
+		std := InvolvementStandard(u, w)
+		altInv := InvolvementAlt(alt)
+		for k := range std {
+			for i := range std[k] {
+				if std[k][i] && !altInv[k][i] {
+					t.Errorf("%s: A-block %d involved in C-block %d in standard basis but not in alternative basis",
+						alt.Name, i, k)
+				}
+			}
+		}
+	}
+}
+
+// TestInvolvementClassicalShape sanity-checks the standard involvement
+// map on the classical algorithm: C(i,j) involves exactly the blocks
+// A(i,k) of its row.
+func TestInvolvementClassicalShape(t *testing.T) {
+	alg := algos.Classical(2, 2, 2)
+	inv := InvolvementStandard(alg.Spec.U, alg.Spec.W)
+	for k := range inv {
+		i := k / 2 // output row of block k
+		count := 0
+		for blk, used := range inv[k] {
+			if used {
+				count++
+				if blk/2 != i {
+					t.Errorf("C-block %d uses A-block %d outside its row", k, blk)
+				}
+			}
+		}
+		if count != 2 {
+			t.Errorf("C-block %d involves %d A-blocks, want 2", k, count)
+		}
+	}
+}
+
+// TestInvolvementAltMayExceedStandard documents the remark after Claim
+// V.2: the alternative basis computation may involve extra blocks that
+// cancel in exact arithmetic.
+func TestInvolvementAltMayExceedStandard(t *testing.T) {
+	alt := algos.Ours()
+	u, _, w := alt.StandardUVW()
+	std := InvolvementStandard(u, w)
+	altInv := InvolvementAlt(alt)
+	extra := 0
+	for k := range std {
+		for i := range std[k] {
+			if altInv[k][i] && !std[k][i] {
+				extra++
+			}
+		}
+	}
+	t.Logf("alternative basis involves %d extra (cancelling) block pairs", extra)
+}
