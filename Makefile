@@ -1,0 +1,29 @@
+# Tier-1 gate: `make` (= build + test) must stay green on every change.
+
+GO ?= go
+
+.PHONY: all build test race vet bench clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Race-detector pass at small sizes: the shared-Multiplier concurrency
+# tests plus the core/bilinear engines that execute under it.
+race:
+	$(GO) test -race -short -run 'TestMultiplierConcurrent|TestMultiplyIntoPadded|TestMultiplierStats' .
+	$(GO) test -race -short ./internal/core/... ./internal/bilinear/... ./internal/basis/... ./internal/pool/...
+
+vet:
+	$(GO) vet ./...
+
+# Allocation-tracking benchmarks for the plan/execute split.
+bench:
+	$(GO) test -run xxx -bench 'BenchmarkMultiplyInto' -benchmem .
+
+clean:
+	$(GO) clean ./...

@@ -20,6 +20,18 @@
 //	alg, _ := abmm.Lookup("ours")
 //	c := abmm.Multiply(alg, a, b, abmm.Options{Levels: abmm.AutoLevels})
 //
+// When multiplying repeatedly, build a Multiplier once and use
+// MultiplyInto: plans (recursion depth, padding, compiled schedules,
+// sized workspace) are cached per operand shape, so steady-state calls
+// allocate nothing beyond the destination you pass:
+//
+//	mu := abmm.NewMultiplier(alg, abmm.Options{Levels: abmm.AutoLevels})
+//	c := abmm.NewMatrix(n, n)
+//	for i := 0; i < reps; i++ {
+//		mu.MultiplyInto(c, a, b) // reuses the cached plan and arenas
+//	}
+//	fmt.Println(mu.Stats())      // plan-cache hits/misses, arena bytes
+//
 // All algorithms are defined by exact rational coefficient data and are
 // machine-verified against the Brent triple-product equations; the
 // engine runs CSE-scheduled linear phases over a block-recursive
@@ -61,6 +73,28 @@ func NewMatrix(r, c int) *Matrix { return matrix.New(r, c) }
 
 // FromRows builds a matrix from row slices (copied).
 func FromRows(rows [][]float64) *Matrix { return matrix.FromRows(rows) }
+
+// Multiplier executes one algorithm with fixed options, caching a
+// compiled Plan (LRU, keyed by operand shape) and pooled workspace
+// arenas across calls. It is safe for concurrent use from multiple
+// goroutines; see MultiplyInto and Stats.
+type Multiplier = core.Multiplier
+
+// Plan is a multiplication compiled for one operand shape; obtain one
+// from Multiplier.Plan to amortize even the cache lookup.
+type Plan = core.Plan
+
+// CacheStats reports a Multiplier's plan-cache hits, misses, evictions,
+// live plan count, and retained workspace bytes.
+type CacheStats = core.CacheStats
+
+// NewMultiplier returns a reusable Multiplier for the algorithm. Prefer
+// it over repeated Multiply calls when multiplying many times: the
+// per-shape setup (levels, padding, schedule compilation, workspace
+// sizing) runs once and scratch buffers are recycled.
+func NewMultiplier(alg *Algorithm, opt Options) *Multiplier {
+	return core.New(alg, opt)
+}
 
 // Multiply computes a·b with the given algorithm.
 func Multiply(alg *Algorithm, a, b *Matrix, opt Options) *Matrix {
@@ -116,8 +150,9 @@ const (
 func MultiplyScaled(alg *Algorithm, a, b *Matrix, opt Options, method ScalingMethod) *Matrix {
 	cfg := scaling.NewConfig(method)
 	cfg.Workers = opt.Workers
+	mu := core.New(alg, opt)
 	return scaling.Multiply(cfg, a, b, func(x, y *Matrix) *Matrix {
-		return core.Multiply(alg, x, y, opt)
+		return mu.Multiply(x, y)
 	})
 }
 
@@ -236,11 +271,12 @@ func ErrorBound(alg *Algorithm, n float64) float64 {
 // Figures 2(C), 2(D) and 3.
 func MeasureMaxError(alg *Algorithm, n, levels, runs int, dist Dist, seed uint64, workers int) float64 {
 	max := 0.0
+	mu := core.New(alg, Options{Levels: levels, Workers: workers})
+	a, b, got := matrix.New(n, n), matrix.New(n, n), matrix.New(n, n)
 	for run := 0; run < runs; run++ {
 		rng := rand.New(rand.NewPCG(seed+uint64(run), seed^uint64(run*2654435761+1)))
-		a, b := matrix.New(n, n), matrix.New(n, n)
 		matrix.FillPair(a, b, dist, rng)
-		got := core.Multiply(alg, a, b, Options{Levels: levels, Workers: workers})
+		mu.MultiplyInto(got, a, b)
 		ref := dd.ReferenceProduct(a, b, workers)
 		if d := matrix.MaxAbsDiff(got, ref); d > max {
 			max = d

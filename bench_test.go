@@ -131,10 +131,51 @@ func benchMultiply(b *testing.B, name string, n, levels int, opt core.Options) {
 	a.FillUniform(matrix.Rand(1), -1, 1)
 	c.FillUniform(matrix.Rand(2), -1, 1)
 	opt.Levels = levels
+	mu := core.New(alg, opt)
+	dst := matrix.New(n, n)
 	b.SetBytes(int64(n) * int64(n) * 8 * 3)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		_ = core.Multiply(alg, a, c, opt)
+		mu.MultiplyInto(dst, a, c)
+	}
+}
+
+// BenchmarkMultiplyInto measures the plan/execute split directly:
+// "cold" compiles a fresh plan (and discards its arenas) every
+// iteration, the one-shot cost; "warm" reuses one Multiplier, whose
+// cached plan and pooled arenas make the steady state allocation-free
+// with Workers=1 (parallel runs still pay goroutine machinery).
+func BenchmarkMultiplyInto(b *testing.B) {
+	alg, err := abmm.Lookup("ours")
+	if err != nil {
+		b.Fatal(err)
+	}
+	const levels = 2
+	for _, n := range []int{512, 1024} {
+		a := matrix.New(n, n)
+		c := matrix.New(n, n)
+		a.FillUniform(matrix.Rand(1), -1, 1)
+		c.FillUniform(matrix.Rand(2), -1, 1)
+		dst := matrix.New(n, n)
+		for _, workers := range []int{1, 0} {
+			opt := core.Options{Levels: levels, Workers: workers}
+			b.Run(fmt.Sprintf("cold/n=%d/l=%d/w=%d", n, levels, workers), func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					core.NewPlan(alg, opt, n, n, n).MultiplyInto(dst, a, c)
+				}
+			})
+			b.Run(fmt.Sprintf("warm/n=%d/l=%d/w=%d", n, levels, workers), func(b *testing.B) {
+				mu := core.New(alg, opt)
+				mu.MultiplyInto(dst, a, c) // compile the plan outside the loop
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					mu.MultiplyInto(dst, a, c)
+				}
+			})
+		}
 	}
 }
 

@@ -36,6 +36,12 @@ type Transform struct {
 	ipOnce sync.Once
 	ipOps  []elemOp
 	ipOK   bool
+
+	// Cached transpose, derived lazily. Sharing it lets every plan and
+	// call site reuse one Transform (and its compiled in-place program)
+	// instead of re-deriving νᵀ per multiplication.
+	trOnce sync.Once
+	tr     *Transform
 }
 
 // New builds a Transform from its exact matrix representation.
@@ -60,9 +66,13 @@ func Identity(d int) *Transform { return New("identity", exact.Identity(d)) }
 func (t *Transform) IsIdentity() bool { return t.M.IsIdentity() }
 
 // Transposed returns the transform defined by Mᵀ, used to apply the
-// output transformation ν^T of Algorithm 1.
+// output transformation ν^T of Algorithm 1. The result is computed once
+// and shared; callers must not mutate it.
 func (t *Transform) Transposed() *Transform {
-	return New(t.Name+"ᵀ", t.M.Transpose())
+	t.trOnce.Do(func() {
+		t.tr = New(t.Name+"ᵀ", t.M.Transpose())
+	})
+	return t.tr
 }
 
 // Inverse returns the inverse transformation; the recursive inverse of
@@ -104,11 +114,25 @@ func (t *Transform) Apply(in *matrix.Matrix, level, workers int) *matrix.Matrix 
 	}
 	h := in.Rows / d1l
 	out := matrix.New(ipow(t.D2, level)*h, in.Cols)
-	t.apply(out, in, level, workers)
+	t.ApplyInto(out, in, level, workers, pool.Global)
 	return out
 }
 
-func (t *Transform) apply(dst, src *matrix.Matrix, level, workers int) {
+// ApplyInto computes φ^level on src, writing the result into dst (which
+// must have D₂^level base blocks of src's base shape) and drawing all
+// scratch from al. dst may be dirty scratch; every element is written.
+func (t *Transform) ApplyInto(dst, src *matrix.Matrix, level, workers int, al pool.Allocator) {
+	d1l := ipow(t.D1, level)
+	if src.Rows%d1l != 0 {
+		panic(fmt.Sprintf("basis: %d rows not divisible by %d^%d", src.Rows, t.D1, level))
+	}
+	if dst.Rows != ipow(t.D2, level)*(src.Rows/d1l) || dst.Cols != src.Cols {
+		panic(matrix.ErrShape)
+	}
+	t.apply(dst, src, level, workers, al)
+}
+
+func (t *Transform) apply(dst, src *matrix.Matrix, level, workers int, al pool.Allocator) {
 	if level == 0 {
 		matrix.CopyInto(dst, src)
 		return
@@ -119,18 +143,39 @@ func (t *Transform) apply(dst, src *matrix.Matrix, level, workers int) {
 	// combine scratch groups into the output groups. The recursion
 	// order follows Definition II.1 (transform sub-vectors first).
 	tmpGroup := dh // rows of one transformed input group: D₂^{level-1}·h
-	tmpBuf := pool.Get(t.D1 * tmpGroup * src.Cols)
-	tmp := make([]*matrix.Matrix, t.D1)
+	tmpBuf := al.Floats(t.D1 * tmpGroup * src.Cols)
+	tmp := al.Mats(t.D1)
 	for i := range tmp {
-		tmp[i] = matrix.FromSlice(tmpGroup, src.Cols, tmpBuf[i*tmpGroup*src.Cols:(i+1)*tmpGroup*src.Cols])
+		h := al.Hdr()
+		h.Init(tmpGroup, src.Cols, tmpBuf[i*tmpGroup*src.Cols:(i+1)*tmpGroup*src.Cols])
+		tmp[i] = h
 	}
-	parallel.For(t.D1, workers, 1, func(i int) {
-		t.apply(tmp[i], src.View(i*sh, 0, sh, src.Cols), level-1, 1)
-	})
-	parallel.For(t.D2, workers, 1, func(j int) {
-		matrix.LinearCombine(dst.View(j*dh, 0, dh, dst.Cols), t.cols[j], tmp, 1)
-	})
-	pool.Put(tmpBuf)
+	if workers == 1 {
+		sv := al.Hdr()
+		for i := 0; i < t.D1; i++ {
+			src.ViewInto(sv, i*sh, 0, sh, src.Cols)
+			t.apply(tmp[i], sv, level-1, 1, al)
+		}
+		dv := al.Hdr()
+		for j := 0; j < t.D2; j++ {
+			dst.ViewInto(dv, j*dh, 0, dh, dst.Cols)
+			matrix.LinearCombine(dv, t.cols[j], tmp, 1)
+		}
+		al.PutHdr(sv)
+		al.PutHdr(dv)
+	} else {
+		parallel.For(t.D1, workers, 1, func(i int) {
+			t.apply(tmp[i], src.View(i*sh, 0, sh, src.Cols), level-1, 1, al)
+		})
+		parallel.For(t.D2, workers, 1, func(j int) {
+			matrix.LinearCombine(dst.View(j*dh, 0, dh, dst.Cols), t.cols[j], tmp, 1)
+		})
+	}
+	for _, h := range tmp {
+		al.PutHdr(h)
+	}
+	al.PutMats(tmp)
+	al.PutFloats(tmpBuf)
 }
 
 func ipow(b, e int) int {

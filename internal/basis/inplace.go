@@ -6,6 +6,7 @@ import (
 	"abmm/internal/exact"
 	"abmm/internal/matrix"
 	"abmm/internal/parallel"
+	"abmm/internal/pool"
 )
 
 // In-place application. A square transformation v ← φᵀv can be executed
@@ -57,6 +58,12 @@ func (t *Transform) CanApplyInPlace() bool {
 // the operand is untouched and the caller must use Apply. The operand
 // layout is the same stacked form Apply expects.
 func (t *Transform) ApplyInPlace(v *matrix.Matrix, level, workers int) bool {
+	return t.ApplyInPlaceFrom(v, level, workers, pool.Global)
+}
+
+// ApplyInPlaceFrom is ApplyInPlace with the recursion's view headers
+// drawn from al, so warm-arena executions allocate nothing.
+func (t *Transform) ApplyInPlaceFrom(v *matrix.Matrix, level, workers int, al pool.Allocator) bool {
 	if t.D1 != t.D2 {
 		return false
 	}
@@ -67,23 +74,31 @@ func (t *Transform) ApplyInPlace(v *matrix.Matrix, level, workers int) bool {
 	if v.Rows%ipow(t.D1, level) != 0 {
 		panic("basis: operand rows not divisible for in-place transform")
 	}
-	t.applyInPlace(ops, v, level, workers)
+	t.applyInPlace(ops, v, level, workers, al)
 	return true
 }
 
-func (t *Transform) applyInPlace(ops []elemOp, v *matrix.Matrix, level, workers int) {
+func (t *Transform) applyInPlace(ops []elemOp, v *matrix.Matrix, level, workers int, al pool.Allocator) {
 	if level == 0 {
 		return
 	}
 	d := t.D1
 	gh := v.Rows / d
-	groups := make([]*matrix.Matrix, d)
+	groups := al.Mats(d)
 	for i := range groups {
-		groups[i] = v.View(i*gh, 0, gh, v.Cols)
+		g := al.Hdr()
+		v.ViewInto(g, i*gh, 0, gh, v.Cols)
+		groups[i] = g
 	}
-	parallel.For(d, workers, 1, func(i int) {
-		t.applyInPlace(ops, groups[i], level-1, 1)
-	})
+	if workers == 1 {
+		for i := 0; i < d; i++ {
+			t.applyInPlace(ops, groups[i], level-1, 1, al)
+		}
+	} else {
+		parallel.For(d, workers, 1, func(i int) {
+			t.applyInPlace(ops, groups[i], level-1, 1, al)
+		})
+	}
 	for _, op := range ops {
 		switch op.kind {
 		case elemAdd:
@@ -94,17 +109,29 @@ func (t *Transform) applyInPlace(ops []elemOp, v *matrix.Matrix, level, workers 
 			matrix.Scale(groups[op.i], groups[op.i], op.c, workers)
 		}
 	}
+	for _, g := range groups {
+		al.PutHdr(g)
+	}
+	al.PutMats(groups)
 }
 
 func swapGroups(a, b *matrix.Matrix, workers int) {
+	if a.Rows <= 16 || workers == 1 {
+		swapRows(a, b, 0, a.Rows)
+		return
+	}
 	parallel.ForChunks(a.Rows, workers, 16, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			ra, rb := a.Row(i), b.Row(i)
-			for j := range ra {
-				ra[j], rb[j] = rb[j], ra[j]
-			}
-		}
+		swapRows(a, b, lo, hi)
 	})
+}
+
+func swapRows(a, b *matrix.Matrix, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		ra, rb := a.Row(i), b.Row(i)
+		for j := range ra {
+			ra[j], rb[j] = rb[j], ra[j]
+		}
+	}
 }
 
 // factorElementary factors mᵀ into elementary matrices and returns the

@@ -30,12 +30,7 @@ type Options struct {
 	Direct bool
 }
 
-func (o Options) workers() int {
-	if o.Workers <= 0 {
-		return parallel.DefaultWorkers()
-	}
-	return o.Workers
-}
+func (o Options) workers() int { return parallel.Resolve(o.Workers) }
 
 // Exec multiplies two operands in stacked layout: a must be the
 // ToRecursive image (branching D_U, depth levels) of the left operand
@@ -43,24 +38,18 @@ func (o Options) workers() int {
 // branching D_V. It returns the stacked product with branching D_W,
 // which for a standard-basis spec is the ToRecursive image of C = A·B.
 func Exec(s *Spec, a, b *matrix.Matrix, levels int, opt Options) *matrix.Matrix {
-	if levels < 0 {
-		panic("bilinear: negative recursion depth")
-	}
-	du, dv, dw := ipow(s.DU(), levels), ipow(s.DV(), levels), ipow(s.DW(), levels)
-	if a.Rows%du != 0 || b.Rows%dv != 0 {
-		panic(fmt.Sprintf("bilinear: operand rows %d/%d not divisible by branching %d/%d", a.Rows, b.Rows, du, dv))
-	}
-	if a.Cols != b.Rows/dv {
-		panic(fmt.Sprintf("bilinear: base blocks %dx%d · %dx%d do not conform",
-			a.Rows/du, a.Cols, b.Rows/dv, b.Cols))
-	}
-	e := newEngine(s, opt, levels)
+	e := NewEngine(s, opt, levels)
+	du, dw := ipow(s.DU(), levels), ipow(s.DW(), levels)
 	c := matrix.New(dw*(a.Rows/du), b.Cols)
-	e.recurse(c, a, b, levels)
+	e.ExecInto(c, a, b, pool.Global)
 	return c
 }
 
-type engine struct {
+// Engine executes the recursive bilinear phase of one algorithm at one
+// recursion depth. An Engine is immutable after construction and safe
+// for concurrent ExecInto calls; core.Plan builds one per compiled plan
+// and reuses it for every execution of that shape.
+type Engine struct {
 	s             *Spec
 	workers       int
 	kernelWorkers int
@@ -84,15 +73,17 @@ type specCols struct {
 
 // specAt returns the algorithm for a recursion level (levels counts
 // down toward the base case at 0).
-func (e *engine) specAt(level int) *Spec {
+func (e *Engine) specAt(level int) *Spec {
 	if e.mixed == nil {
 		return e.s
 	}
 	return e.mixed[e.levels-level]
 }
 
-// colsOf returns (building once) the encoding columns of a spec.
-func (e *engine) colsOf(s *Spec) *specCols {
+// colsOf returns the encoding columns of a spec. Every spec the engine
+// can encounter is registered at construction, so lookups during
+// execution are read-only and safe under concurrency.
+func (e *Engine) colsOf(s *Spec) *specCols {
 	if c, ok := e.cols[s]; ok {
 		return c
 	}
@@ -101,8 +92,15 @@ func (e *engine) colsOf(s *Spec) *specCols {
 	return c
 }
 
-func newEngine(s *Spec, opt Options, levels int) *engine {
-	e := &engine{s: s, workers: opt.workers(), kernelWorkers: opt.workers(), direct: opt.Direct}
+// NewEngine compiles the execution state for running spec s at the
+// given depth: resolved workers, the task-spawning depth, compiled
+// linear-phase programs, and the per-spec coefficient columns. The
+// returned Engine is reusable and concurrency-safe.
+func NewEngine(s *Spec, opt Options, levels int) *Engine {
+	if levels < 0 {
+		panic("bilinear: negative recursion depth")
+	}
+	e := &Engine{s: s, workers: opt.workers(), kernelWorkers: opt.workers(), direct: opt.Direct}
 	if !e.direct {
 		s.Programs() // compile once before any parallel execution
 	}
@@ -140,20 +138,41 @@ func columns(m *matrix.Matrix) [][]float64 {
 	return out
 }
 
-func (e *engine) recurse(c, a, b *matrix.Matrix, level int) {
+// ExecInto runs the engine's recursion, writing the stacked product
+// into c. Scratch is drawn from al; with a warm pool.Arena the call
+// performs no heap allocation on the default (scheduled, sequential-
+// kernel) path. c must be fully writable scratch or output — its prior
+// contents are ignored.
+func (e *Engine) ExecInto(c, a, b *matrix.Matrix, al pool.Allocator) {
+	s, levels := e.s, e.levels
+	du, dv, dw := ipow(s.DU(), levels), ipow(s.DV(), levels), ipow(s.DW(), levels)
+	if a.Rows%du != 0 || b.Rows%dv != 0 {
+		panic(fmt.Sprintf("bilinear: operand rows %d/%d not divisible by branching %d/%d", a.Rows, b.Rows, du, dv))
+	}
+	if a.Cols != b.Rows/dv {
+		panic(fmt.Sprintf("bilinear: base blocks %dx%d · %dx%d do not conform",
+			a.Rows/du, a.Cols, b.Rows/dv, b.Cols))
+	}
+	if c.Rows != dw*(a.Rows/du) || c.Cols != b.Cols {
+		panic(fmt.Sprintf("bilinear: output %dx%d, want %dx%d", c.Rows, c.Cols, dw*(a.Rows/du), b.Cols))
+	}
+	e.recurse(c, a, b, levels, al)
+}
+
+func (e *Engine) recurse(c, a, b *matrix.Matrix, level int, al pool.Allocator) {
 	if level == 0 {
 		matrix.Mul(c, a, b, e.kernelWorkers)
 		return
 	}
 	if !e.direct {
-		e.scheduled(c, a, b, level)
+		e.scheduled(c, a, b, level, al)
 		return
 	}
 	if e.limiter != nil && level >= e.taskMinLevel {
-		e.taskParallel(c, a, b, level)
+		e.taskParallel(c, a, b, level, al)
 		return
 	}
-	e.sequential(c, a, b, level)
+	e.sequential(c, a, b, level, al)
 }
 
 // scheduled runs one recursion step using the CSE-compiled linear-phase
@@ -161,54 +180,77 @@ func (e *engine) recurse(c, a, b *matrix.Matrix, level int) {
 // the R products recurse (as concurrent tasks on the top levels in
 // task-parallel mode), and the decode program writes the output groups
 // in place.
-func (e *engine) scheduled(c, a, b *matrix.Matrix, level int) {
+func (e *Engine) scheduled(c, a, b *matrix.Matrix, level int, al pool.Allocator) {
 	s := e.specAt(level)
 	encA, encB, dec := s.Programs()
 	ah, bh, ch := a.Rows/s.DU(), b.Rows/s.DV(), c.Rows/s.DW()
-	S, relS := runProgram(encA, groups(a, s.DU()), ah, a.Cols, nil, e.kernelWorkers)
-	T, relT := runProgram(encB, groups(b, s.DV()), bh, b.Cols, nil, e.kernelWorkers)
-	prods := make([]*matrix.Matrix, s.R)
-	pBufs := make([][]float64, s.R)
+	aGroups := groupsIn(al, a, s.DU())
+	bGroups := groupsIn(al, b, s.DV())
+	sRun := runProgram(encA, aGroups, ah, a.Cols, nil, e.kernelWorkers, al)
+	tRun := runProgram(encB, bGroups, bh, b.Cols, nil, e.kernelWorkers, al)
+	prods := al.Mats(s.R)
+	for r := range prods {
+		prods[r] = al.Mat(ch, c.Cols)
+	}
+	if e.limiter != nil && level >= e.taskMinLevel {
+		// Done in a separate method so its closures don't force sRun
+		// and tRun to the heap on the non-task path.
+		e.recurseTasks(prods, sRun.outs, tRun.outs, level, al)
+	} else {
+		for r := 0; r < s.R; r++ {
+			e.recurse(prods[r], sRun.outs[r], tRun.outs[r], level-1, al)
+		}
+	}
+	sRun.release(al)
+	tRun.release(al)
+	putGroups(al, aGroups)
+	putGroups(al, bGroups)
+	cGroups := groupsIn(al, c, s.DW())
+	dRun := runProgram(dec, prods, ch, c.Cols, cGroups, e.kernelWorkers, al)
+	dRun.release(al)
+	putGroups(al, cGroups)
+	for _, p := range prods {
+		al.PutMat(p)
+	}
+	al.PutMats(prods)
+}
+
+// recurseTasks runs the R product recursions of one scheduled node as
+// limiter-bounded concurrent tasks.
+func (e *Engine) recurseTasks(prods, souts, touts []*matrix.Matrix, level int, al pool.Allocator) {
 	var wg sync.WaitGroup
-	for r := 0; r < s.R; r++ {
-		pBufs[r] = pool.Get(ch * c.Cols)
-		prods[r] = matrix.FromSlice(ch, c.Cols, pBufs[r])
+	n := len(prods)
+	for r := 0; r < n; r++ {
 		task := func(r int) func() {
-			return func() { e.recurse(prods[r], S[r], T[r], level-1) }
+			return func() { e.recurse(prods[r], souts[r], touts[r], level-1, al) }
 		}(r)
-		if e.limiter == nil || level < e.taskMinLevel || r == s.R-1 || !e.limiter.TrySpawn(&wg, task) {
+		// The last product always runs inline so the spawning
+		// goroutine contributes work instead of blocking.
+		if r == n-1 || !e.limiter.TrySpawn(&wg, task) {
 			task()
 		}
 	}
 	wg.Wait()
-	relS()
-	relT()
-	_, relC := runProgram(dec, prods, ch, c.Cols, groups(c, s.DW()), e.kernelWorkers)
-	relC()
-	for _, buf := range pBufs {
-		pool.Put(buf)
-	}
 }
 
 // sequential is the low-memory depth-first schedule: one S, T and
 // product buffer per recursion level, with products accumulated
 // directly into the output groups as they are produced.
-func (e *engine) sequential(c, a, b *matrix.Matrix, level int) {
+func (e *Engine) sequential(c, a, b *matrix.Matrix, level int, al pool.Allocator) {
 	s := e.specAt(level)
 	sc := e.colsOf(s)
 	ah, bh, ch := a.Rows/s.DU(), b.Rows/s.DV(), c.Rows/s.DW()
-	sBuf, tBuf, pBuf := pool.Get(ah*a.Cols), pool.Get(bh*b.Cols), pool.Get(ch*c.Cols)
-	S := matrix.FromSlice(ah, a.Cols, sBuf)
-	T := matrix.FromSlice(bh, b.Cols, tBuf)
-	P := matrix.FromSlice(ch, c.Cols, pBuf)
-	aGroups := groups(a, s.DU())
-	bGroups := groups(b, s.DV())
-	cGroups := groups(c, s.DW())
+	S := al.Mat(ah, a.Cols)
+	T := al.Mat(bh, b.Cols)
+	P := al.Mat(ch, c.Cols)
+	aGroups := groupsIn(al, a, s.DU())
+	bGroups := groupsIn(al, b, s.DV())
+	cGroups := groupsIn(al, c, s.DW())
 	touched := make([]bool, s.DW())
 	for r := 0; r < s.R; r++ {
 		matrix.LinearCombine(S, sc.u[r], aGroups, e.kernelWorkers)
 		matrix.LinearCombine(T, sc.v[r], bGroups, e.kernelWorkers)
-		e.recurse(P, S, T, level-1)
+		e.recurse(P, S, T, level-1, al)
 		for k := 0; k < s.DW(); k++ {
 			w := s.wF.At(k, r)
 			if w == 0 {
@@ -227,37 +269,37 @@ func (e *engine) sequential(c, a, b *matrix.Matrix, level int) {
 			cGroups[k].Zero()
 		}
 	}
-	pool.Put(sBuf)
-	pool.Put(tBuf)
-	pool.Put(pBuf)
+	putGroups(al, aGroups)
+	putGroups(al, bGroups)
+	putGroups(al, cGroups)
+	al.PutMat(S)
+	al.PutMat(T)
+	al.PutMat(P)
 }
 
 // taskParallel runs the R products of this node as concurrent tasks
 // when the limiter grants slots (running them inline otherwise), then
 // decodes all output groups in parallel. Each task owns its S, T and
 // product buffers.
-func (e *engine) taskParallel(c, a, b *matrix.Matrix, level int) {
+func (e *Engine) taskParallel(c, a, b *matrix.Matrix, level int, al pool.Allocator) {
 	s := e.specAt(level)
 	sc := e.colsOf(s)
 	ah, bh, ch := a.Rows/s.DU(), b.Rows/s.DV(), c.Rows/s.DW()
-	aGroups := groups(a, s.DU())
-	bGroups := groups(b, s.DV())
+	aGroups := groupsIn(al, a, s.DU())
+	bGroups := groupsIn(al, b, s.DV())
 	var wg sync.WaitGroup
-	prods := make([]*matrix.Matrix, s.R)
-	pBufs := make([][]float64, s.R)
+	prods := al.Mats(s.R)
 	for r := 0; r < s.R; r++ {
-		pBufs[r] = pool.Get(ch * c.Cols)
-		prods[r] = matrix.FromSlice(ch, c.Cols, pBufs[r])
+		prods[r] = al.Mat(ch, c.Cols)
 		task := func(r int) func() {
 			return func() {
-				sBuf, tBuf := pool.Get(ah*a.Cols), pool.Get(bh*b.Cols)
-				S := matrix.FromSlice(ah, a.Cols, sBuf)
-				T := matrix.FromSlice(bh, b.Cols, tBuf)
+				S := al.Mat(ah, a.Cols)
+				T := al.Mat(bh, b.Cols)
 				matrix.LinearCombine(S, sc.u[r], aGroups, 1)
 				matrix.LinearCombine(T, sc.v[r], bGroups, 1)
-				e.recurse(prods[r], S, T, level-1)
-				pool.Put(sBuf)
-				pool.Put(tBuf)
+				e.recurse(prods[r], S, T, level-1, al)
+				al.PutMat(S)
+				al.PutMat(T)
 			}
 		}(r)
 		// The last product always runs inline so the spawning
@@ -267,22 +309,36 @@ func (e *engine) taskParallel(c, a, b *matrix.Matrix, level int) {
 		}
 	}
 	wg.Wait()
-	cGroups := groups(c, s.DW())
+	cGroups := groupsIn(al, c, s.DW())
 	parallel.For(s.DW(), e.workers, 1, func(k int) {
 		matrix.LinearCombine(cGroups[k], s.wF.Row(k), prods, 1)
 	})
-	for _, buf := range pBufs {
-		pool.Put(buf)
+	putGroups(al, aGroups)
+	putGroups(al, bGroups)
+	putGroups(al, cGroups)
+	for _, p := range prods {
+		al.PutMat(p)
 	}
+	al.PutMats(prods)
 }
 
-// groups splits a stacked operand into its d top-level contiguous row
-// groups.
-func groups(m *matrix.Matrix, d int) []*matrix.Matrix {
+// groupsIn splits a stacked operand into its d top-level contiguous row
+// groups, drawing the headers and the slice from al.
+func groupsIn(al pool.Allocator, m *matrix.Matrix, d int) []*matrix.Matrix {
 	h := m.Rows / d
-	out := make([]*matrix.Matrix, d)
+	out := al.Mats(d)
 	for i := range out {
-		out[i] = m.View(i*h, 0, h, m.Cols)
+		g := al.Hdr()
+		m.ViewInto(g, i*h, 0, h, m.Cols)
+		out[i] = g
 	}
 	return out
+}
+
+// putGroups returns a groupsIn result to al.
+func putGroups(al pool.Allocator, gs []*matrix.Matrix) {
+	for _, g := range gs {
+		al.PutHdr(g)
+	}
+	al.PutMats(gs)
 }

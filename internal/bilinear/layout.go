@@ -3,6 +3,7 @@ package bilinear
 import (
 	"abmm/internal/matrix"
 	"abmm/internal/parallel"
+	"abmm/internal/pool"
 )
 
 // The block-recursive ("stacked") layout stores an M×K matrix that will
@@ -21,64 +22,114 @@ func ToRecursive(m *matrix.Matrix, m0, k0, l, workers int) *matrix.Matrix {
 	checkDivisible(m, m0, k0, l)
 	h, w := m.Rows/ipow(m0, l), m.Cols/ipow(k0, l)
 	out := matrix.New(ipow(m0*k0, l)*h, w)
-	var rec func(src *matrix.Matrix, dst *matrix.Matrix, level int)
-	rec = func(src, dst *matrix.Matrix, level int) {
-		if level == 0 {
-			matrix.CopyInto(dst, src)
-			return
-		}
-		rows := dst.Rows / (m0 * k0)
-		for p := 0; p < m0; p++ {
-			for q := 0; q < k0; q++ {
-				i := p*k0 + q
-				rec(src.Block(m0, k0, p, q), dst.View(i*rows, 0, rows, dst.Cols), level-1)
-			}
-		}
+	ToRecursiveInto(out, m, m0, k0, l, workers, pool.Global)
+	return out
+}
+
+// ToRecursiveInto copies m into dst in stacked layout for L levels of
+// an m0×k0 partition, the destination-passing form of ToRecursive. dst
+// must have m's element count and (m0·k0)^L·(m.Rows/m0^L) rows; every
+// element of dst is overwritten, so dst may be dirty scratch. View
+// headers for the recursion are drawn from al.
+func ToRecursiveInto(dst, m *matrix.Matrix, m0, k0, l, workers int, al pool.Allocator) {
+	checkDivisible(m, m0, k0, l)
+	if dst.Rows*dst.Cols != m.Rows*m.Cols || dst.Rows != ipow(m0*k0, l)*(m.Rows/ipow(m0, l)) {
+		panic(matrix.ErrShape)
 	}
 	if l == 0 {
-		matrix.CopyInto(out, m)
-		return out
+		matrix.CopyInto(dst, m)
+		return
 	}
 	// Parallelize over the top-level blocks.
-	rows := out.Rows / (m0 * k0)
+	rows := dst.Rows / (m0 * k0)
+	if workers == 1 {
+		toRecRec(dst, m, m0, k0, l, al)
+		return
+	}
 	parallel.For(m0*k0, workers, 1, func(i int) {
 		p, q := i/k0, i%k0
-		rec(m.Block(m0, k0, p, q), out.View(i*rows, 0, rows, out.Cols), l-1)
+		sv, dv := al.Hdr(), al.Hdr()
+		m.BlockInto(sv, m0, k0, p, q)
+		dst.ViewInto(dv, i*rows, 0, rows, dst.Cols)
+		toRecRec(dv, sv, m0, k0, l-1, al)
+		al.PutHdr(sv)
+		al.PutHdr(dv)
 	})
-	return out
+}
+
+// toRecRec is ToRecursiveInto's recursion, a plain function so the
+// sequential path allocates no closures.
+func toRecRec(dst, src *matrix.Matrix, m0, k0, level int, al pool.Allocator) {
+	if level == 0 {
+		matrix.CopyInto(dst, src)
+		return
+	}
+	rows := dst.Rows / (m0 * k0)
+	sv, dv := al.Hdr(), al.Hdr()
+	for p := 0; p < m0; p++ {
+		for q := 0; q < k0; q++ {
+			i := p*k0 + q
+			src.BlockInto(sv, m0, k0, p, q)
+			dst.ViewInto(dv, i*rows, 0, rows, dst.Cols)
+			toRecRec(dv, sv, m0, k0, level-1, al)
+		}
+	}
+	al.PutHdr(sv)
+	al.PutHdr(dv)
 }
 
 // FromRecursive copies a stacked-layout matrix s (laid out for L levels
 // of an m0×n0 partition) into dst, which must have dimensions divisible
 // by m0^L and n0^L and the same element count as s.
 func FromRecursive(s *matrix.Matrix, dst *matrix.Matrix, m0, n0, l, workers int) {
+	FromRecursiveInto(dst, s, m0, n0, l, workers, pool.Global)
+}
+
+// FromRecursiveInto is FromRecursive with its destination first (the
+// library's ...Into convention) and recursion headers drawn from al.
+func FromRecursiveInto(dst, s *matrix.Matrix, m0, n0, l, workers int, al pool.Allocator) {
 	checkDivisible(dst, m0, n0, l)
 	if s.Rows*s.Cols != dst.Rows*dst.Cols {
 		panic(matrix.ErrShape)
-	}
-	var rec func(src, d *matrix.Matrix, level int)
-	rec = func(src, d *matrix.Matrix, level int) {
-		if level == 0 {
-			matrix.CopyInto(d, src)
-			return
-		}
-		rows := src.Rows / (m0 * n0)
-		for p := 0; p < m0; p++ {
-			for q := 0; q < n0; q++ {
-				i := p*n0 + q
-				rec(src.View(i*rows, 0, rows, src.Cols), d.Block(m0, n0, p, q), level-1)
-			}
-		}
 	}
 	if l == 0 {
 		matrix.CopyInto(dst, s)
 		return
 	}
 	rows := s.Rows / (m0 * n0)
+	if workers == 1 {
+		fromRecRec(dst, s, m0, n0, l, al)
+		return
+	}
 	parallel.For(m0*n0, workers, 1, func(i int) {
 		p, q := i/n0, i%n0
-		rec(s.View(i*rows, 0, rows, s.Cols), dst.Block(m0, n0, p, q), l-1)
+		sv, dv := al.Hdr(), al.Hdr()
+		s.ViewInto(sv, i*rows, 0, rows, s.Cols)
+		dst.BlockInto(dv, m0, n0, p, q)
+		fromRecRec(dv, sv, m0, n0, l-1, al)
+		al.PutHdr(sv)
+		al.PutHdr(dv)
 	})
+}
+
+// fromRecRec is FromRecursiveInto's recursion as a plain function.
+func fromRecRec(d, src *matrix.Matrix, m0, n0, level int, al pool.Allocator) {
+	if level == 0 {
+		matrix.CopyInto(d, src)
+		return
+	}
+	rows := src.Rows / (m0 * n0)
+	sv, dv := al.Hdr(), al.Hdr()
+	for p := 0; p < m0; p++ {
+		for q := 0; q < n0; q++ {
+			i := p*n0 + q
+			src.ViewInto(sv, i*rows, 0, rows, src.Cols)
+			d.BlockInto(dv, m0, n0, p, q)
+			fromRecRec(dv, sv, m0, n0, level-1, al)
+		}
+	}
+	al.PutHdr(sv)
+	al.PutHdr(dv)
 }
 
 func checkDivisible(m *matrix.Matrix, m0, k0, l int) {

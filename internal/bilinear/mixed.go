@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"abmm/internal/matrix"
+	"abmm/internal/pool"
 )
 
 // ExecMixed runs a non-stationary ("non-uniform") recursion in the
@@ -36,16 +37,19 @@ func ExecMixed(specs []*Spec, a, b *matrix.Matrix, opt Options) *matrix.Matrix {
 	if a.Rows%du != 0 {
 		panic("bilinear: operand rows not divisible for mixed recursion")
 	}
-	e := newEngine(first, opt, levels)
+	e := NewEngine(first, opt, levels)
 	e.mixed = specs
 	for _, s := range specs {
 		if !e.direct {
 			s.Programs()
 		}
+		// Register every spec's coefficient columns up front so colsOf
+		// stays read-only during (possibly task-parallel) execution.
+		e.colsOf(s)
 	}
 	dw := ipow(first.M0*first.N0, levels)
 	c := matrix.New(dw*(a.Rows/du), b.Cols)
-	e.recurse(c, a, b, levels)
+	e.recurse(c, a, b, levels, pool.Global)
 	return c
 }
 

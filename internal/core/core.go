@@ -4,13 +4,17 @@
 // output transformation νᵀ, and convert back. It is the execution
 // engine behind the public abmm API and behind every runtime and error
 // experiment.
+//
+// The package splits deciding how to multiply from multiplying: a Plan
+// compiles the decisions once per operand shape, and Multiplier keeps
+// an LRU cache of plans so repeated multiplications reuse both the
+// decisions and the workspace arenas they size.
 package core
 
 import (
 	"fmt"
 
 	"abmm/internal/algos"
-	"abmm/internal/bilinear"
 	"abmm/internal/matrix"
 	"abmm/internal/parallel"
 )
@@ -31,45 +35,62 @@ type Options struct {
 	// bilinear.Options.
 	TaskParallel bool
 	Direct       bool
+	// PlanCache bounds the number of shape-keyed plans a Multiplier
+	// retains; 0 means DefaultPlanCache.
+	PlanCache int
 }
 
 // AutoLevels is the Levels value requesting automatic selection.
 const AutoLevels = -1
 
-func (o Options) workers() int {
-	if o.Workers <= 0 {
-		return parallel.DefaultWorkers()
-	}
-	return o.Workers
-}
+func (o Options) workers() int { return parallel.Resolve(o.Workers) }
 
-// Multiplier executes a specific algorithm with fixed options.
+// Multiplier executes a specific algorithm with fixed options. It is
+// safe for concurrent use; plans compiled for previously seen operand
+// shapes are cached (LRU, bounded by Options.PlanCache) together with
+// their pooled workspace arenas. Do not copy a Multiplier after first
+// use.
 type Multiplier struct {
 	Alg *algos.Algorithm
 	Opt Options
+
+	cache planCache
 }
 
 // New returns a Multiplier for the given algorithm.
 func New(alg *algos.Algorithm, opt Options) *Multiplier {
-	return &Multiplier{Alg: alg, Opt: opt}
+	mu := &Multiplier{Alg: alg, Opt: opt}
+	mu.cache.cap = opt.PlanCache
+	return mu
 }
 
 // Levels resolves the recursion depth for an m×k·k×n multiplication.
 func (mu *Multiplier) Levels(m, k, n int) int {
-	if mu.Opt.Levels >= 0 {
-		return mu.Opt.Levels
+	return resolveLevels(mu.Alg, mu.Opt, m, k, n)
+}
+
+// Plan returns the compiled plan for an m×k·k×n multiplication,
+// building and caching it on first use.
+func (mu *Multiplier) Plan(m, k, n int) *Plan {
+	return mu.cache.get(PlanKey{M: m, K: k, N: n}, func() *Plan {
+		return NewPlan(mu.Alg, mu.Opt, m, k, n)
+	})
+}
+
+// Stats reports plan-cache hit/miss/eviction counts and retained
+// workspace bytes.
+func (mu *Multiplier) Stats() CacheStats { return mu.cache.stats() }
+
+// MultiplyInto computes dst = A·B with the configured algorithm,
+// reusing (or compiling) the plan for the operand shape. dst must be
+// a.Rows×b.Cols and must not alias a or b; its prior contents are
+// ignored. After the first call for a shape, repeated calls allocate
+// (almost) nothing: scratch comes from the plan's warm arenas.
+func (mu *Multiplier) MultiplyInto(dst, a, b *matrix.Matrix) {
+	if a.Cols != b.Rows {
+		panic(fmt.Sprintf("core: cannot multiply %dx%d by %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
 	}
-	minBase := mu.Opt.MinBase
-	if minBase <= 0 {
-		minBase = 512
-	}
-	s := mu.Alg.Spec
-	l := 0
-	for m/s.M0 >= minBase && k/s.K0 >= minBase && n/s.N0 >= minBase {
-		m, k, n = m/s.M0, k/s.K0, n/s.N0
-		l++
-	}
-	return l
+	mu.Plan(a.Rows, a.Cols, b.Cols).MultiplyInto(dst, a, b)
 }
 
 // Multiply computes A·B with the configured algorithm.
@@ -77,50 +98,9 @@ func (mu *Multiplier) Multiply(a, b *matrix.Matrix) *matrix.Matrix {
 	if a.Cols != b.Rows {
 		panic(fmt.Sprintf("core: cannot multiply %dx%d by %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
 	}
-	alg, opt := mu.Alg, mu.Opt
-	s := alg.Spec
-	levels := mu.Levels(a.Rows, a.Cols, b.Cols)
-	w := opt.workers()
-	bopt := bilinear.Options{Workers: w, TaskParallel: opt.TaskParallel, Direct: opt.Direct}
-
-	// Step 0: pad so `levels` recursion steps divide evenly.
-	pm, pk, pn := matrix.PadShape(a.Rows, a.Cols, b.Cols, s.M0, s.K0, s.N0, levels)
-	ap := a.PadTo(pm, pk)
-	bp := b.PadTo(pk, pn)
-
-	// Convert to block-recursive layout.
-	as := bilinear.ToRecursive(ap, s.M0, s.K0, levels, w)
-	bs := bilinear.ToRecursive(bp, s.K0, s.N0, levels, w)
-
-	// Steps 2–3: Ã = φ(A), B̃ = ψ(B). The stacked buffers are freshly
-	// allocated, so square transforms run in place (the paper's
-	// (2⅔+o(1))n² memory footprint relies on this); dimension-changing
-	// decompositions fall back to out-of-place application.
-	if alg.Phi != nil && !alg.Phi.IsIdentity() {
-		if !alg.Phi.ApplyInPlace(as, levels, w) {
-			as = alg.Phi.Apply(as, levels, w)
-		}
-	}
-	if alg.Psi != nil && !alg.Psi.IsIdentity() {
-		if !alg.Psi.ApplyInPlace(bs, levels, w) {
-			bs = alg.Psi.Apply(bs, levels, w)
-		}
-	}
-
-	// Step 4: recursive-bilinear phase.
-	cs := bilinear.Exec(s, as, bs, levels, bopt)
-
-	// Step 5: C = νᵀ(C̃).
-	if alg.Nu != nil && !alg.Nu.IsIdentity() {
-		nuT := alg.Nu.Transposed()
-		if !nuT.ApplyInPlace(cs, levels, w) {
-			cs = nuT.Apply(cs, levels, w)
-		}
-	}
-
-	cp := matrix.New(pm, pn)
-	bilinear.FromRecursive(cs, cp, s.M0, s.N0, levels, w)
-	return cp.CropTo(a.Rows, b.Cols)
+	dst := matrix.New(a.Rows, b.Cols)
+	mu.MultiplyInto(dst, a, b)
+	return dst
 }
 
 // Multiply is a convenience wrapper: one-shot multiplication with alg.

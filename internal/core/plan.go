@@ -1,0 +1,344 @@
+package core
+
+// Plan/execute split. Deciding how to multiply — recursion depth,
+// padded dimensions, stacked-layout shapes, in-place vs out-of-place
+// basis application, CSE program compilation, workspace sizing — is a
+// pure function of (algorithm, m×k×n, options). A Plan performs that
+// work once; MultiplyInto then only moves floats, drawing every scratch
+// buffer from a per-plan arena pool so repeated same-shape calls reach
+// a steady state with no allocation.
+
+import (
+	"container/list"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"abmm/internal/algos"
+	"abmm/internal/basis"
+	"abmm/internal/bilinear"
+	"abmm/internal/matrix"
+	"abmm/internal/pool"
+)
+
+// PlanKey identifies a plan within one Multiplier: the operand shape of
+// an m×k by k×n multiplication. Algorithm and options are fixed per
+// Multiplier, so they are not part of the key.
+type PlanKey struct {
+	M, K, N int
+}
+
+// Plan is a compiled multiplication for one (algorithm, shape, options)
+// triple. It is immutable after construction and safe for concurrent
+// use: every execution checks a private workspace arena out of an
+// internal pool.
+type Plan struct {
+	alg     *algos.Algorithm
+	key     PlanKey
+	levels  int
+	workers int
+
+	// Padded operand dimensions; padded is false when they equal the
+	// operand shape and the pad/crop steps are skipped entirely.
+	pm, pk, pn int
+	padded     bool
+
+	// Stacked-layout buffer shapes. asR/bsR are the row counts as laid
+	// out by ToRecursive; phiR/psiR the row counts after a
+	// dimension-changing φ/ψ (equal to asR/bsR for square transforms);
+	// csR the engine output rows and nuR the rows after νᵀ.
+	asR, asC   int
+	bsR, bsC   int
+	csR, csC   int
+	phiR, psiR int
+	nuR        int
+
+	// Basis transforms to apply (nil when absent or identity) and
+	// whether each runs in place in the stacked scratch.
+	phi, psi, nuT      *basis.Transform
+	phiIP, psiIP, nuIP bool
+	eng                *bilinear.Engine
+	bopt               bilinear.Options
+
+	arenas sync.Pool // of *pool.Arena
+	bytes  atomic.Int64
+}
+
+func resolveLevels(alg *algos.Algorithm, opt Options, m, k, n int) int {
+	if opt.Levels >= 0 {
+		return opt.Levels
+	}
+	minBase := opt.MinBase
+	if minBase <= 0 {
+		minBase = 512
+	}
+	s := alg.Spec
+	l := 0
+	for m/s.M0 >= minBase && k/s.K0 >= minBase && n/s.N0 >= minBase {
+		m, k, n = m/s.M0, k/s.K0, n/s.N0
+		l++
+	}
+	return l
+}
+
+// NewPlan compiles a plan for multiplying m×k by k×n with alg under
+// opt. The returned plan is shape-specific; Multiplier maintains an LRU
+// cache of these keyed by shape.
+func NewPlan(alg *algos.Algorithm, opt Options, m, k, n int) *Plan {
+	levels := resolveLevels(alg, opt, m, k, n)
+	w := opt.workers()
+	p := &Plan{
+		alg:     alg,
+		key:     PlanKey{M: m, K: k, N: n},
+		levels:  levels,
+		workers: w,
+		bopt:    bilinear.Options{Workers: w, TaskParallel: opt.TaskParallel, Direct: opt.Direct},
+	}
+	p.arenas.New = func() any { return pool.NewArena() }
+	if levels == 0 {
+		p.pm, p.pk, p.pn = m, k, n
+		return p
+	}
+	s := alg.Spec
+	p.pm, p.pk, p.pn = matrix.PadShape(m, k, n, s.M0, s.K0, s.N0, levels)
+	p.padded = p.pm != m || p.pk != k || p.pn != n
+
+	ah, aw := p.pm/ipow(s.M0, levels), p.pk/ipow(s.K0, levels)
+	bh, bw := p.pk/ipow(s.K0, levels), p.pn/ipow(s.N0, levels)
+	ch, cw := p.pm/ipow(s.M0, levels), p.pn/ipow(s.N0, levels)
+	p.asR, p.asC = ipow(s.M0*s.K0, levels)*ah, aw
+	p.bsR, p.bsC = ipow(s.K0*s.N0, levels)*bh, bw
+	p.csR, p.csC = ipow(s.DW(), levels)*ch, cw
+	p.phiR, p.psiR, p.nuR = p.asR, p.bsR, p.csR
+
+	if alg.Phi != nil && !alg.Phi.IsIdentity() {
+		p.phi = alg.Phi
+		p.phiIP = p.phi.CanApplyInPlace()
+		if !p.phiIP {
+			p.phiR = ipow(p.phi.D2, levels) * ah
+		}
+	}
+	if alg.Psi != nil && !alg.Psi.IsIdentity() {
+		p.psi = alg.Psi
+		p.psiIP = p.psi.CanApplyInPlace()
+		if !p.psiIP {
+			p.psiR = ipow(p.psi.D2, levels) * bh
+		}
+	}
+	if alg.Nu != nil && !alg.Nu.IsIdentity() {
+		p.nuT = alg.Nu.Transposed()
+		p.nuIP = p.nuT.CanApplyInPlace()
+		if p.nuIP {
+			p.nuR = p.csR
+		} else {
+			p.nuR = ipow(p.nuT.D2, levels) * ch
+		}
+	}
+	p.eng = bilinear.NewEngine(s, p.bopt, levels)
+	return p
+}
+
+// Key returns the operand shape the plan was compiled for.
+func (p *Plan) Key() PlanKey { return p.key }
+
+// Levels returns the compiled recursion depth.
+func (p *Plan) Levels() int { return p.levels }
+
+// ArenaBytes returns the high-water mark of workspace bytes held by any
+// single arena of this plan.
+func (p *Plan) ArenaBytes() int64 { return p.bytes.Load() }
+
+func (p *Plan) checkout() *pool.Arena { return p.arenas.Get().(*pool.Arena) }
+
+func (p *Plan) release(ar *pool.Arena) {
+	b := ar.Bytes()
+	for {
+		cur := p.bytes.Load()
+		if b <= cur || p.bytes.CompareAndSwap(cur, b) {
+			break
+		}
+	}
+	p.arenas.Put(ar)
+}
+
+// MultiplyInto computes dst = A·B along the compiled plan. dst must be
+// m×n and must not alias a or b; its prior contents are ignored and
+// fully overwritten. Safe for concurrent use.
+func (p *Plan) MultiplyInto(dst, a, b *matrix.Matrix) {
+	if a.Rows != p.key.M || a.Cols != p.key.K || b.Rows != p.key.K || b.Cols != p.key.N {
+		panic(fmt.Sprintf("core: plan compiled for %dx%d·%dx%d got %dx%d·%dx%d",
+			p.key.M, p.key.K, p.key.K, p.key.N, a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	if dst.Rows != p.key.M || dst.Cols != p.key.N {
+		panic(matrix.ErrShape)
+	}
+	w := p.workers
+	if p.levels == 0 {
+		matrix.MulInto(dst, a, b, w)
+		return
+	}
+	s := p.alg.Spec
+	ar := p.checkout()
+	defer p.release(ar)
+
+	// Stage operands into stacked layout (padding first if needed).
+	as := ar.Mat(p.asR, p.asC)
+	bs := ar.Mat(p.bsR, p.bsC)
+	if p.padded {
+		ap := ar.Mat(p.pm, p.pk)
+		matrix.PadInto(ap, a)
+		bilinear.ToRecursiveInto(as, ap, s.M0, s.K0, p.levels, w, ar)
+		ar.PutMat(ap)
+		bp := ar.Mat(p.pk, p.pn)
+		matrix.PadInto(bp, b)
+		bilinear.ToRecursiveInto(bs, bp, s.K0, s.N0, p.levels, w, ar)
+		ar.PutMat(bp)
+	} else {
+		bilinear.ToRecursiveInto(as, a, s.M0, s.K0, p.levels, w, ar)
+		bilinear.ToRecursiveInto(bs, b, s.K0, s.N0, p.levels, w, ar)
+	}
+
+	// Ã = φ(A), B̃ = ψ(B). The stacked buffers are plan-owned scratch,
+	// so square transforms run in place (the paper's (2⅔+o(1))n² memory
+	// footprint relies on this); dimension-changing decompositions go
+	// out of place into a second arena buffer.
+	if p.phi != nil {
+		if p.phiIP {
+			p.phi.ApplyInPlaceFrom(as, p.levels, w, ar)
+		} else {
+			t := ar.Mat(p.phiR, p.asC)
+			p.phi.ApplyInto(t, as, p.levels, w, ar)
+			ar.PutMat(as)
+			as = t
+		}
+	}
+	if p.psi != nil {
+		if p.psiIP {
+			p.psi.ApplyInPlaceFrom(bs, p.levels, w, ar)
+		} else {
+			t := ar.Mat(p.psiR, p.bsC)
+			p.psi.ApplyInto(t, bs, p.levels, w, ar)
+			ar.PutMat(bs)
+			bs = t
+		}
+	}
+
+	// Recursive-bilinear phase.
+	cs := ar.Mat(p.csR, p.csC)
+	p.eng.ExecInto(cs, as, bs, ar)
+	ar.PutMat(as)
+	ar.PutMat(bs)
+
+	// C = νᵀ(C̃).
+	if p.nuT != nil {
+		if p.nuIP {
+			p.nuT.ApplyInPlaceFrom(cs, p.levels, w, ar)
+		} else {
+			t := ar.Mat(p.nuR, p.csC)
+			p.nuT.ApplyInto(t, cs, p.levels, w, ar)
+			ar.PutMat(cs)
+			cs = t
+		}
+	}
+
+	// Unstack and crop. When no padding was needed the stacked result
+	// unpacks straight into dst.
+	if p.padded {
+		cp := ar.Mat(p.pm, p.pn)
+		bilinear.FromRecursiveInto(cp, cs, s.M0, s.N0, p.levels, w, ar)
+		matrix.CropInto(dst, cp)
+		ar.PutMat(cp)
+	} else {
+		bilinear.FromRecursiveInto(dst, cs, s.M0, s.N0, p.levels, w, ar)
+	}
+	ar.PutMat(cs)
+}
+
+// Multiply is the allocating convenience form of MultiplyInto.
+func (p *Plan) Multiply(a, b *matrix.Matrix) *matrix.Matrix {
+	dst := matrix.New(p.key.M, p.key.N)
+	p.MultiplyInto(dst, a, b)
+	return dst
+}
+
+func ipow(b, e int) int {
+	v := 1
+	for ; e > 0; e-- {
+		v *= b
+	}
+	return v
+}
+
+// CacheStats reports the state of a Multiplier's plan cache.
+type CacheStats struct {
+	Hits      uint64 // lookups served by a cached plan
+	Misses    uint64 // lookups that compiled a new plan
+	Evictions uint64 // plans dropped by the LRU policy
+	Plans     int    // plans currently cached
+	// ArenaBytes sums each cached plan's high-water workspace bytes: an
+	// upper bound on the float storage the caches retain per concurrent
+	// execution stream.
+	ArenaBytes int64
+}
+
+// String formats the stats the way cmd/abmm reports them.
+func (s CacheStats) String() string {
+	return fmt.Sprintf("%d plan(s), %d hit(s), %d miss(es), %d eviction(s), %.1f MiB workspace",
+		s.Plans, s.Hits, s.Misses, s.Evictions, float64(s.ArenaBytes)/(1<<20))
+}
+
+// planCache is a shape-keyed LRU of compiled plans.
+type planCache struct {
+	mu      sync.Mutex
+	cap     int
+	entries map[PlanKey]*list.Element
+	order   list.List // front = most recently used; values are *Plan
+
+	hits, misses, evictions atomic.Uint64
+}
+
+// DefaultPlanCache is the plan-cache capacity when Options.PlanCache
+// is zero.
+const DefaultPlanCache = 32
+
+func (pc *planCache) get(key PlanKey, compile func() *Plan) *Plan {
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	if pc.entries == nil {
+		pc.entries = make(map[PlanKey]*list.Element)
+	}
+	if el, ok := pc.entries[key]; ok {
+		pc.order.MoveToFront(el)
+		pc.hits.Add(1)
+		return el.Value.(*Plan)
+	}
+	pc.misses.Add(1)
+	p := compile()
+	pc.entries[key] = pc.order.PushFront(p)
+	cap := pc.cap
+	if cap <= 0 {
+		cap = DefaultPlanCache
+	}
+	for pc.order.Len() > cap {
+		old := pc.order.Back()
+		pc.order.Remove(old)
+		delete(pc.entries, old.Value.(*Plan).key)
+		pc.evictions.Add(1)
+	}
+	return p
+}
+
+func (pc *planCache) stats() CacheStats {
+	st := CacheStats{
+		Hits:      pc.hits.Load(),
+		Misses:    pc.misses.Load(),
+		Evictions: pc.evictions.Load(),
+	}
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	st.Plans = pc.order.Len()
+	for el := pc.order.Front(); el != nil; el = el.Next() {
+		st.ArenaBytes += el.Value.(*Plan).ArenaBytes()
+	}
+	return st
+}

@@ -76,12 +76,7 @@ func Paper() Params {
 	return p
 }
 
-func (p Params) workers() int {
-	if p.Workers <= 0 {
-		return parallel.DefaultWorkers()
-	}
-	return p.Workers
-}
+func (p Params) workers() int { return parallel.Resolve(p.Workers) }
 
 // Table is a formatted experiment result.
 type Table struct {

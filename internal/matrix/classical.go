@@ -25,6 +25,12 @@ func Mul(c, a, b *Matrix, workers int) {
 	MulAdd(c, a, b, workers)
 }
 
+// MulInto is Mul under the library's destination-passing naming: it
+// exists so call sites reading "...Into" for every stage of the
+// zero-allocation pipeline can use the same convention for the base
+// case. c must not alias a or b.
+func MulInto(c, a, b *Matrix, workers int) { Mul(c, a, b, workers) }
+
 // MulAdd computes c += a·b. c must not alias a or b.
 func MulAdd(c, a, b *Matrix, workers int) {
 	if a.Cols != b.Rows || c.Rows != a.Rows || c.Cols != b.Cols {
@@ -34,20 +40,31 @@ func MulAdd(c, a, b *Matrix, workers int) {
 	if m == 0 || n == 0 || k == 0 {
 		return
 	}
+	nb := (m + blockM - 1) / blockM
+	if workers == 1 || nb == 1 {
+		mulBlocks(c, a, b, 0, nb)
+		return
+	}
 	// Parallelize over row blocks of C: disjoint outputs, no locking.
-	parallel.ForChunks((m+blockM-1)/blockM, workers, 1, func(lo, hi int) {
-		for ib := lo; ib < hi; ib++ {
-			i0 := ib * blockM
-			i1 := min(i0+blockM, m)
-			for k0 := 0; k0 < k; k0 += blockK {
-				k1 := min(k0+blockK, k)
-				for j0 := 0; j0 < n; j0 += blockN {
-					j1 := min(j0+blockN, n)
-					mulTile(c, a, b, i0, i1, k0, k1, j0, j1)
-				}
+	parallel.ForChunks(nb, workers, 1, func(lo, hi int) {
+		mulBlocks(c, a, b, lo, hi)
+	})
+}
+
+// mulBlocks runs row blocks [lo, hi) of the blocked schedule.
+func mulBlocks(c, a, b *Matrix, lo, hi int) {
+	m, k, n := a.Rows, a.Cols, b.Cols
+	for ib := lo; ib < hi; ib++ {
+		i0 := ib * blockM
+		i1 := min(i0+blockM, m)
+		for k0 := 0; k0 < k; k0 += blockK {
+			k1 := min(k0+blockK, k)
+			for j0 := 0; j0 < n; j0 += blockN {
+				j1 := min(j0+blockN, n)
+				mulTile(c, a, b, i0, i1, k0, k1, j0, j1)
 			}
 		}
-	})
+	}
 }
 
 // mulTile accumulates the (i0:i1, j0:j1) tile of C using the

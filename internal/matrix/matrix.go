@@ -61,6 +61,16 @@ func FromSlice(r, c int, data []float64) *Matrix {
 	return &Matrix{Rows: r, Cols: c, Stride: c, Data: data}
 }
 
+// Init re-points m at data as an r-by-c contiguous matrix, the
+// in-place counterpart of FromSlice for recycled headers. len(data)
+// must be exactly r*c.
+func (m *Matrix) Init(r, c int, data []float64) {
+	if len(data) != r*c {
+		panic(fmt.Sprintf("matrix: Init needs %d elements, got %d", r*c, len(data)))
+	}
+	m.Rows, m.Cols, m.Stride, m.Data = r, c, c, data
+}
+
 // At returns the element at row i, column j.
 func (m *Matrix) At(i, j int) float64 { return m.Data[i*m.Stride+j] }
 
@@ -84,6 +94,31 @@ func (m *Matrix) View(i, j, r, c int) *Matrix {
 	off := i*m.Stride + j
 	end := (i+r-1)*m.Stride + j + c
 	return &Matrix{Rows: r, Cols: c, Stride: m.Stride, Data: m.Data[off:end]}
+}
+
+// ViewInto writes the (i, j, r, c) view of m into the header dst
+// without allocating. It is View for recycled headers.
+func (m *Matrix) ViewInto(dst *Matrix, i, j, r, c int) {
+	if i < 0 || j < 0 || r < 0 || c < 0 || i+r > m.Rows || j+c > m.Cols {
+		panic(fmt.Sprintf("matrix: view (%d,%d,%d,%d) out of bounds of %dx%d", i, j, r, c, m.Rows, m.Cols))
+	}
+	if r == 0 || c == 0 {
+		*dst = Matrix{Rows: r, Cols: c, Stride: m.Stride}
+		return
+	}
+	off := i*m.Stride + j
+	end := (i+r-1)*m.Stride + j + c
+	dst.Rows, dst.Cols, dst.Stride, dst.Data = r, c, m.Stride, m.Data[off:end]
+}
+
+// BlockInto writes block (p, q) of the br-by-bc partition of m into the
+// header dst without allocating. It is Block for recycled headers.
+func (m *Matrix) BlockInto(dst *Matrix, br, bc, p, q int) {
+	if br <= 0 || bc <= 0 || m.Rows%br != 0 || m.Cols%bc != 0 {
+		panic(fmt.Sprintf("matrix: %dx%d not divisible into %dx%d blocks", m.Rows, m.Cols, br, bc))
+	}
+	h, w := m.Rows/br, m.Cols/bc
+	m.ViewInto(dst, p*h, q*w, h, w)
 }
 
 // Block partitions m into br-by-bc equal blocks and returns block (p, q)

@@ -6,19 +6,37 @@ import "abmm/internal/parallel"
 // element-wise kernels; below this the scheduling overhead dominates.
 const opsGrain = 64
 
+// seqRows reports whether a row loop should run inline on the calling
+// goroutine: either parallelism is disabled or the matrix is too small
+// to chunk. Callers use it to skip the parallel.ForChunks closure
+// entirely, which keeps the sequential hot path allocation-free (a
+// closure passed to ForChunks escapes and is heap-allocated even when
+// the loop would run sequentially anyway).
+func seqRows(m *Matrix, workers int) bool {
+	return workers == 1 || m.Rows <= rowsGrain(m)
+}
+
 // Add computes dst = a + b element-wise. dst may alias a or b.
 func Add(dst, a, b *Matrix, workers int) {
 	if !SameShape(dst, a) || !SameShape(dst, b) {
 		panic(ErrShape)
 	}
+	if seqRows(dst, workers) {
+		addRows(dst, a, b, 0, dst.Rows)
+		return
+	}
 	parallel.ForChunks(dst.Rows, workers, rowsGrain(dst), func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			d, x, y := dst.Row(i), a.Row(i), b.Row(i)
-			for j := range d {
-				d[j] = x[j] + y[j]
-			}
-		}
+		addRows(dst, a, b, lo, hi)
 	})
+}
+
+func addRows(dst, a, b *Matrix, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		d, x, y := dst.Row(i), a.Row(i), b.Row(i)
+		for j := range d {
+			d[j] = x[j] + y[j]
+		}
+	}
 }
 
 // Sub computes dst = a - b element-wise. dst may alias a or b.
@@ -26,14 +44,22 @@ func Sub(dst, a, b *Matrix, workers int) {
 	if !SameShape(dst, a) || !SameShape(dst, b) {
 		panic(ErrShape)
 	}
+	if seqRows(dst, workers) {
+		subRows(dst, a, b, 0, dst.Rows)
+		return
+	}
 	parallel.ForChunks(dst.Rows, workers, rowsGrain(dst), func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			d, x, y := dst.Row(i), a.Row(i), b.Row(i)
-			for j := range d {
-				d[j] = x[j] - y[j]
-			}
-		}
+		subRows(dst, a, b, lo, hi)
 	})
+}
+
+func subRows(dst, a, b *Matrix, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		d, x, y := dst.Row(i), a.Row(i), b.Row(i)
+		for j := range d {
+			d[j] = x[j] - y[j]
+		}
+	}
 }
 
 // Scale computes dst = c*a element-wise. dst may alias a.
@@ -41,14 +67,22 @@ func Scale(dst, a *Matrix, c float64, workers int) {
 	if !SameShape(dst, a) {
 		panic(ErrShape)
 	}
+	if seqRows(dst, workers) {
+		scaleRowsRange(dst, a, c, 0, dst.Rows)
+		return
+	}
 	parallel.ForChunks(dst.Rows, workers, rowsGrain(dst), func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			d, x := dst.Row(i), a.Row(i)
-			for j := range d {
-				d[j] = c * x[j]
-			}
-		}
+		scaleRowsRange(dst, a, c, lo, hi)
 	})
+}
+
+func scaleRowsRange(dst, a *Matrix, c float64, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		d, x := dst.Row(i), a.Row(i)
+		for j := range d {
+			d[j] = c * x[j]
+		}
+	}
 }
 
 // AddScaled computes dst += c*a element-wise (AXPY).
@@ -56,14 +90,28 @@ func AddScaled(dst, a *Matrix, c float64, workers int) {
 	if !SameShape(dst, a) {
 		panic(ErrShape)
 	}
+	if seqRows(dst, workers) {
+		addScaledRows(dst, a, c, 0, dst.Rows)
+		return
+	}
 	parallel.ForChunks(dst.Rows, workers, rowsGrain(dst), func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			d, x := dst.Row(i), a.Row(i)
-			for j := range d {
-				d[j] += c * x[j]
-			}
-		}
+		addScaledRows(dst, a, c, lo, hi)
 	})
+}
+
+func addScaledRows(dst, a *Matrix, c float64, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		d, x := dst.Row(i), a.Row(i)
+		for j := range d {
+			d[j] += c * x[j]
+		}
+	}
+}
+
+// lcTerm is one nonzero term of a linear combination.
+type lcTerm struct {
+	c float64
+	m *Matrix
 }
 
 // LinearCombine computes dst = Σ coeffs[t] * srcs[t] with a single fused
@@ -78,11 +126,13 @@ func LinearCombine(dst *Matrix, coeffs []float64, srcs []*Matrix, workers int) {
 	if len(coeffs) != len(srcs) {
 		panic("matrix: LinearCombine coeffs/srcs length mismatch")
 	}
-	type term struct {
-		c float64
-		m *Matrix
+	// The term table lives on the stack for the sequential path; the
+	// parallel path copies it to the heap for the worker closure.
+	var tbuf [32]lcTerm
+	terms := tbuf[:0]
+	if len(srcs) > len(tbuf) {
+		terms = make([]lcTerm, 0, len(srcs))
 	}
-	terms := make([]term, 0, len(srcs))
 	for t, c := range coeffs {
 		if c == 0 {
 			continue
@@ -90,48 +140,58 @@ func LinearCombine(dst *Matrix, coeffs []float64, srcs []*Matrix, workers int) {
 		if !SameShape(dst, srcs[t]) {
 			panic(ErrShape)
 		}
-		terms = append(terms, term{c, srcs[t]})
+		terms = append(terms, lcTerm{c, srcs[t]})
 	}
 	if len(terms) == 0 {
 		dst.Zero()
 		return
 	}
+	if seqRows(dst, workers) {
+		combineRows(dst, terms, 0, dst.Rows)
+		return
+	}
+	ht := make([]lcTerm, len(terms))
+	copy(ht, terms)
 	parallel.ForChunks(dst.Rows, workers, rowsGrain(dst), func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			d := dst.Row(i)
-			// First term initializes the row.
-			switch x := terms[0].m.Row(i); terms[0].c {
+		combineRows(dst, ht, lo, hi)
+	})
+}
+
+func combineRows(dst *Matrix, terms []lcTerm, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		d := dst.Row(i)
+		// First term initializes the row.
+		switch x := terms[0].m.Row(i); terms[0].c {
+		case 1:
+			copy(d, x)
+		case -1:
+			for j := range d {
+				d[j] = -x[j]
+			}
+		default:
+			c := terms[0].c
+			for j := range d {
+				d[j] = c * x[j]
+			}
+		}
+		for _, t := range terms[1:] {
+			switch x := t.m.Row(i); t.c {
 			case 1:
-				copy(d, x)
+				for j := range d {
+					d[j] += x[j]
+				}
 			case -1:
 				for j := range d {
-					d[j] = -x[j]
+					d[j] -= x[j]
 				}
 			default:
-				c := terms[0].c
+				c := t.c
 				for j := range d {
-					d[j] = c * x[j]
-				}
-			}
-			for _, t := range terms[1:] {
-				switch x := t.m.Row(i); t.c {
-				case 1:
-					for j := range d {
-						d[j] += x[j]
-					}
-				case -1:
-					for j := range d {
-						d[j] -= x[j]
-					}
-				default:
-					c := t.c
-					for j := range d {
-						d[j] += c * x[j]
-					}
+					d[j] += c * x[j]
 				}
 			}
 		}
-	})
+	}
 }
 
 // ScaleRows computes dst[i,j] = d[i] * a[i,j] (left multiplication by

@@ -29,6 +29,41 @@ func (m *Matrix) PadTo(r, c int) *Matrix {
 	return out
 }
 
+// PadInto copies src into the top-left corner of dst and zeroes the
+// remaining border. dst must be at least as large as src in both
+// dimensions. It is the destination-passing form of PadTo: dst may be
+// recycled scratch with arbitrary prior contents.
+func PadInto(dst, src *Matrix) {
+	if dst.Rows < src.Rows || dst.Cols < src.Cols {
+		panic("matrix: PadInto target smaller than source")
+	}
+	for i := 0; i < src.Rows; i++ {
+		d, s := dst.Row(i), src.Row(i)
+		copy(d, s)
+		for j := src.Cols; j < dst.Cols; j++ {
+			d[j] = 0
+		}
+	}
+	for i := src.Rows; i < dst.Rows; i++ {
+		d := dst.Row(i)
+		for j := range d {
+			d[j] = 0
+		}
+	}
+}
+
+// CropInto copies the top-left dst.Rows-by-dst.Cols corner of src into
+// dst, the destination-passing form of CropTo. src must be at least as
+// large as dst in both dimensions.
+func CropInto(dst, src *Matrix) {
+	if dst.Rows > src.Rows || dst.Cols > src.Cols {
+		panic("matrix: CropInto target larger than source")
+	}
+	for i := 0; i < dst.Rows; i++ {
+		copy(dst.Row(i), src.Row(i)[:dst.Cols])
+	}
+}
+
 // CropTo returns the top-left r-by-c corner of m as a copy with
 // contiguous storage. If m already has that shape it is returned
 // unchanged.

@@ -20,6 +20,18 @@ import (
 // runtime.GOMAXPROCS(0).
 func DefaultWorkers() int { return runtime.GOMAXPROCS(0) }
 
+// Resolve maps a requested worker count to an effective one: any value
+// <= 0 selects DefaultWorkers. It is the single worker-resolution rule
+// shared by every Options struct in the library, so a configuration is
+// resolved exactly once (at plan compilation) and the resolved count is
+// what flows through the execution layers.
+func Resolve(workers int) int {
+	if workers <= 0 {
+		return DefaultWorkers()
+	}
+	return workers
+}
+
 // For runs body(i) for every i in [0, n) using up to workers goroutines.
 // Iterations are distributed in contiguous chunks of at least grain
 // iterations to amortize scheduling overhead and preserve spatial

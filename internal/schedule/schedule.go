@@ -50,6 +50,9 @@ type Program struct {
 	// if no op reads it. The executor uses it to recycle scratch
 	// buffers. Target registers are never recycled during execution.
 	LastUse []int
+	// IsTarget[r] reports whether register r holds a target, precomputed
+	// so executors need no per-run lookup table.
+	IsTarget []bool
 }
 
 // Additions returns the number of binary addition operations in the
@@ -309,6 +312,10 @@ func (b *builder) finish(targetRegs []int) *Program {
 		if op.B >= 0 {
 			p.LastUse[op.B] = i
 		}
+	}
+	p.IsTarget = make([]bool, p.NumRegs)
+	for _, r := range targetRegs {
+		p.IsTarget[r] = true
 	}
 	return p
 }

@@ -1,0 +1,7 @@
+//go:build !race
+
+package abmm_test
+
+// raceEnabled reports whether the race detector is compiled in; used to
+// skip strict allocation-count assertions, which the detector skews.
+const raceEnabled = false
