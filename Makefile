@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: all build test race vet bench clean
+.PHONY: all build test race vet bench trace-demo clean
 
-all: build test
+all: build vet test
 
 build:
 	$(GO) build ./...
@@ -13,17 +13,26 @@ test:
 	$(GO) test ./...
 
 # Race-detector pass at small sizes: the shared-Multiplier concurrency
-# tests plus the core/bilinear engines that execute under it.
+# tests plus the core/bilinear engines that execute under it, and the
+# observability collector's concurrent span aggregation.
 race:
 	$(GO) test -race -short -run 'TestMultiplierConcurrent|TestMultiplyIntoPadded|TestMultiplierStats' .
-	$(GO) test -race -short ./internal/core/... ./internal/bilinear/... ./internal/basis/... ./internal/pool/...
+	$(GO) test -race -short ./internal/core/... ./internal/bilinear/... ./internal/basis/... ./internal/pool/... ./internal/obs/...
 
 vet:
 	$(GO) vet ./...
 
-# Allocation-tracking benchmarks for the plan/execute split.
+# Allocation-tracking benchmarks for the plan/execute split and the
+# observability overhead guard (0 allocs/op with a recorder attached).
 bench:
 	$(GO) test -run xxx -bench 'BenchmarkMultiplyInto' -benchmem .
+
+# Record an execution trace of one multiplication and open the viewer:
+# task "abmm.multiply", regions per pipeline phase, and per-node
+# bilinear.L<k> regions showing the recursion tree.
+trace-demo:
+	$(GO) run ./cmd/abmm -alg ours -n 1024 -levels 2 -reps 1 -check=false -trace trace.out
+	$(GO) tool trace trace.out
 
 clean:
 	$(GO) clean ./...

@@ -49,6 +49,7 @@ import (
 	"abmm/internal/core"
 	"abmm/internal/dd"
 	"abmm/internal/matrix"
+	"abmm/internal/obs"
 	"abmm/internal/scaling"
 	"abmm/internal/stability"
 )
@@ -87,6 +88,35 @@ type Plan = core.Plan
 // CacheStats reports a Multiplier's plan-cache hits, misses, evictions,
 // live plan count, and retained workspace bytes.
 type CacheStats = core.CacheStats
+
+// Recorder receives execution events (per-phase spans, multiplication
+// totals, task dispatch, arena traffic) from every multiplication run
+// with it in Options.Recorder. A nil Recorder disables recording and
+// keeps the warm MultiplyInto path at 0 allocs/op.
+type Recorder = obs.Recorder
+
+// Collector is the standard Recorder: race-safe atomic aggregation
+// with JSON (Snapshot), human-readable (Snapshot().Report()), and
+// expvar (PublishStats) export. Attach one via Options.Recorder:
+//
+//	rec := abmm.NewCollector()
+//	mu := abmm.NewMultiplier(alg, abmm.Options{Recorder: rec})
+//	mu.MultiplyInto(c, a, b)
+//	fmt.Println(rec.Snapshot().Report())
+type Collector = obs.Collector
+
+// Snapshot is a point-in-time copy of a Collector: per-phase wall time
+// and shares, classical-equivalent and effective GFLOPS, task and
+// arena counters.
+type Snapshot = obs.Snapshot
+
+// NewCollector returns an empty stats Collector.
+func NewCollector() *Collector { return obs.NewCollector() }
+
+// PublishStats registers a Collector with the expvar registry so
+// /debug/vars serves live engine snapshots; re-registering a name is a
+// no-op.
+func PublishStats(name string, c *Collector) { obs.Publish(name, c) }
 
 // NewMultiplier returns a reusable Multiplier for the algorithm. Prefer
 // it over repeated Multiply calls when multiplying many times: the

@@ -15,6 +15,7 @@ import (
 	"abmm/internal/dist"
 	"abmm/internal/experiments"
 	"abmm/internal/matrix"
+	"abmm/internal/obs"
 	"abmm/internal/scaling"
 	"abmm/internal/stability"
 )
@@ -176,6 +177,41 @@ func BenchmarkMultiplyInto(b *testing.B) {
 				}
 			})
 		}
+	}
+}
+
+// BenchmarkMultiplyInto_NoopRecorder guards the observability overhead
+// contract: the warm Workers=1 path must stay 0 allocs/op and match the
+// plain BenchmarkMultiplyInto warm numbers both with no recorder (the
+// nil no-op default) and with a live stats Collector attached.
+func BenchmarkMultiplyInto_NoopRecorder(b *testing.B) {
+	alg, err := abmm.Lookup("ours")
+	if err != nil {
+		b.Fatal(err)
+	}
+	const n, levels = 512, 2
+	a := matrix.New(n, n)
+	c := matrix.New(n, n)
+	a.FillUniform(matrix.Rand(1), -1, 1)
+	c.FillUniform(matrix.Rand(2), -1, 1)
+	dst := matrix.New(n, n)
+	for _, cfg := range []struct {
+		name string
+		rec  obs.Recorder
+	}{
+		{"noop", nil},
+		{"collector", obs.NewCollector()},
+	} {
+		b.Run(fmt.Sprintf("%s/n=%d/l=%d/w=1", cfg.name, n, levels), func(b *testing.B) {
+			mu := core.New(alg, core.Options{Levels: levels, Workers: 1, Recorder: cfg.rec})
+			mu.MultiplyInto(dst, a, c) // compile the plan outside the loop
+			b.SetBytes(int64(n) * int64(n) * 8 * 3)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				mu.MultiplyInto(dst, a, c)
+			}
+		})
 	}
 }
 

@@ -1,18 +1,30 @@
 // Command abmm multiplies matrices with a chosen algorithm and reports
-// timing and accuracy against the quad-precision classical reference.
+// timing, a per-phase observability breakdown, and accuracy against the
+// quad-precision classical reference.
 //
 // Usage:
 //
 //	abmm -alg ours -n 2048 -levels auto
 //	abmm -alg strassen -n 1024 -levels 3 -check -dist positive
 //	abmm -alg ours -n 2048 -scale repeated-o-i
+//	abmm -alg ours -n 1024 -levels 2 -stats-json          # machine-readable stats
+//	abmm -alg ours -n 1024 -levels 2 -trace trace.out     # go tool trace trace.out
+//	abmm -alg ours -n 1024 -levels 2 -pprof cpu.out       # profile with phase labels
+//
+// Bad flags and flag combinations exit with status 2 and usage text;
+// runtime failures (unwritable trace/profile files) exit with status 1.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
+	"os"
+	"runtime/pprof"
+	"runtime/trace"
 	"strconv"
+	"strings"
 	"time"
 
 	"abmm"
@@ -21,24 +33,61 @@ import (
 func main() {
 	log.SetFlags(0)
 	var (
-		algName = flag.String("alg", "ours", "algorithm name (see algoinfo)")
-		n       = flag.Int("n", 1024, "matrix dimension")
-		m       = flag.Int("m", 0, "rows of A (default n)")
-		k       = flag.Int("k", 0, "cols of A / rows of B (default n)")
-		levels  = flag.String("levels", "auto", "recursion steps or 'auto'")
-		workers = flag.Int("workers", 0, "parallelism (0 = GOMAXPROCS)")
-		dist    = flag.String("dist", "symmetric", "input distribution: symmetric | positive | adv-outside | adv-inside")
-		scale   = flag.String("scale", "none", "diagonal scaling: none | outside | inside | outside-inside | inside-outside | repeated-o-i")
-		check   = flag.Bool("check", true, "measure error vs quad-precision classical reference")
-		reps    = flag.Int("reps", 3, "timing repetitions (median reported)")
-		seed    = flag.Uint64("seed", 1, "input seed")
+		algName   = flag.String("alg", "ours", "algorithm name (see algoinfo)")
+		n         = flag.Int("n", 1024, "matrix dimension")
+		m         = flag.Int("m", 0, "rows of A (default n)")
+		k         = flag.Int("k", 0, "cols of A / rows of B (default n)")
+		levels    = flag.String("levels", "auto", "recursion steps or 'auto'")
+		workers   = flag.Int("workers", 0, "parallelism (0 = GOMAXPROCS)")
+		dist      = flag.String("dist", "symmetric", "input distribution: symmetric | positive | adv-outside | adv-inside")
+		scale     = flag.String("scale", "none", "diagonal scaling: none | outside | inside | outside-inside | inside-outside | repeated-o-i")
+		check     = flag.Bool("check", true, "measure error vs quad-precision classical reference")
+		reps      = flag.Int("reps", 3, "timing repetitions (best reported)")
+		seed      = flag.Uint64("seed", 1, "input seed")
+		statsJSON = flag.Bool("stats-json", false, "emit all results as one JSON document on stdout (suppresses human output)")
+		traceFile = flag.String("trace", "", "write a runtime/trace of the run to this file (open with 'go tool trace')")
+		pprofFile = flag.String("pprof", "", "write a CPU profile of the run to this file, tagging samples with per-phase pprof labels")
 	)
 	flag.Parse()
 
+	if flag.NArg() > 0 {
+		usageErr("unexpected arguments: %q", flag.Args())
+	}
+	if *n <= 0 {
+		usageErr("-n must be positive, got %d", *n)
+	}
+	if *m < 0 || *k < 0 {
+		usageErr("-m and -k must be non-negative (0 means: use -n), got -m=%d -k=%d", *m, *k)
+	}
+	if *reps < 1 {
+		usageErr("-reps must be at least 1, got %d", *reps)
+	}
+	if *workers < 0 {
+		usageErr("-workers must be non-negative (0 = GOMAXPROCS), got %d", *workers)
+	}
+
+	opt := abmm.Options{Workers: *workers}
+	switch {
+	case *levels == "auto":
+		opt.Levels = abmm.AutoLevels
+	default:
+		l, err := strconv.Atoi(*levels)
+		if err != nil || l < 0 {
+			usageErr("-levels must be 'auto' or a non-negative integer, got %q", *levels)
+		}
+		opt.Levels = l
+	}
+
+	method, err := parseScale(*scale)
+	if err != nil {
+		usageErr("%v", err)
+	}
+
 	alg, err := abmm.Lookup(*algName)
 	if err != nil {
-		log.Fatal(err)
+		usageErr("%v", err)
 	}
+
 	rows, inner := *n, *n
 	if *m > 0 {
 		rows = *m
@@ -58,7 +107,7 @@ func main() {
 		b.FillUniform(rng, 0, 1)
 	case "adv-outside", "adv-inside":
 		if rows != inner || inner != *n {
-			log.Fatal("adversarial distributions need square matrices")
+			usageErr("adversarial distributions need square matrices (drop -m/-k or make them equal to -n)")
 		}
 		d := abmm.DistAdversarialOutside
 		if *dist == "adv-inside" {
@@ -66,23 +115,42 @@ func main() {
 		}
 		abmm.FillPair(a, b, d, rng)
 	default:
-		log.Fatalf("unknown distribution %q", *dist)
+		usageErr("unknown distribution %q", *dist)
 	}
 
-	opt := abmm.Options{Workers: *workers}
-	if *levels == "auto" {
-		opt.Levels = abmm.AutoLevels
-	} else {
-		l, err := strconv.Atoi(*levels)
+	// Observability: one Collector aggregates every repetition (the
+	// first, cold repetition includes plan compilation). With -pprof the
+	// collector also tags goroutine labels so profile samples split by
+	// pipeline phase.
+	rec := abmm.NewCollector()
+	rec.SetPprofLabels(*pprofFile != "")
+	opt.Recorder = rec
+
+	if *traceFile != "" {
+		f, err := os.Create(*traceFile)
 		if err != nil {
-			log.Fatalf("bad -levels: %v", err)
+			log.Fatal(err)
 		}
-		opt.Levels = l
+		if err := trace.Start(f); err != nil {
+			log.Fatal(err)
+		}
+		defer func() {
+			trace.Stop()
+			f.Close()
+		}()
 	}
-
-	method, err := parseScale(*scale)
-	if err != nil {
-		log.Fatal(err)
+	if *pprofFile != "" {
+		f, err := os.Create(*pprofFile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatal(err)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
 	}
 
 	// Reuse one Multiplier across repetitions: the plan (depth, padding,
@@ -103,20 +171,92 @@ func main() {
 			best = d
 		}
 	}
+
 	info := abmm.InfoFor(alg)
 	flops := 2 * float64(rows) * float64(inner) * float64(*n)
-	fmt.Printf("%s ⟨%d,%d,%d;%d⟩  %dx%dx%d  %v  (%.2f classical-equivalent GFLOP/s)\n",
-		info.Name, info.M0, info.K0, info.N0, info.R, rows, inner, *n,
-		best, flops/best.Seconds()/1e9)
+	out := runStats{
+		Algorithm: info.Name,
+		Base:      fmt.Sprintf("⟨%d,%d,%d;%d⟩", info.M0, info.K0, info.N0, info.R),
+		M:         rows, K: inner, N: *n,
+		Levels:      mu.Levels(rows, inner, *n),
+		Scale:       *scale,
+		Reps:        *reps,
+		BestSeconds: best.Seconds(),
+		GFLOPS:      flops / best.Seconds() / 1e9,
+		Obs:         rec.Snapshot(),
+	}
 	if method == abmm.ScaleNone {
-		fmt.Printf("plan cache: %s\n", mu.Stats())
+		cs := mu.Stats()
+		out.Cache = &cs
 	}
 	if *check {
 		ref := abmm.ReferenceProduct(a, b, *workers)
 		maxAbs, maxRel := diff(c, ref)
-		fmt.Printf("max abs error %.3e   max rel error %.3e   bound f(n)·ε = %.3e\n",
-			maxAbs, maxRel, abmm.ErrorBound(alg, float64(*n))*0x1p-53)
+		out.Error = &errorStats{
+			MaxAbs: maxAbs,
+			MaxRel: maxRel,
+			Bound:  abmm.ErrorBound(alg, float64(*n)) * 0x1p-53,
+		}
 	}
+
+	if *statsJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+
+	fmt.Printf("%s ⟨%d,%d,%d;%d⟩  %dx%dx%d  %v  (%.2f classical-equivalent GFLOP/s)\n",
+		info.Name, info.M0, info.K0, info.N0, info.R, rows, inner, *n,
+		best, out.GFLOPS)
+	fmt.Println("stats:")
+	if out.Cache != nil {
+		fmt.Printf("  plan cache: %s\n", out.Cache)
+	}
+	fmt.Println(indent(out.Obs.Report(), "  "))
+	if out.Error != nil {
+		fmt.Printf("max abs error %.3e   max rel error %.3e   bound f(n)·ε = %.3e\n",
+			out.Error.MaxAbs, out.Error.MaxRel, out.Error.Bound)
+	}
+}
+
+// runStats is the -stats-json document: run parameters, timing, the
+// plan-cache state, the per-phase observability snapshot, and (with
+// -check) the measured error.
+type runStats struct {
+	Algorithm   string           `json:"algorithm"`
+	Base        string           `json:"base"`
+	M           int              `json:"m"`
+	K           int              `json:"k"`
+	N           int              `json:"n"`
+	Levels      int              `json:"levels"`
+	Scale       string           `json:"scale"`
+	Reps        int              `json:"reps"`
+	BestSeconds float64          `json:"best_seconds"`
+	GFLOPS      float64          `json:"classical_gflops"`
+	Cache       *abmm.CacheStats `json:"plan_cache,omitempty"`
+	Obs         abmm.Snapshot    `json:"obs"`
+	Error       *errorStats      `json:"error,omitempty"`
+}
+
+type errorStats struct {
+	MaxAbs float64 `json:"max_abs"`
+	MaxRel float64 `json:"max_rel"`
+	Bound  float64 `json:"bound"`
+}
+
+// usageErr reports a flag error with usage text and exits with status 2
+// (the conventional flag-error exit code; runtime errors exit 1).
+func usageErr(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "abmm: "+format+"\n\n", args...)
+	flag.Usage()
+	os.Exit(2)
+}
+
+func indent(s, prefix string) string {
+	return prefix + strings.ReplaceAll(s, "\n", "\n"+prefix)
 }
 
 func diff(a, b *abmm.Matrix) (maxAbs, maxRel float64) {

@@ -8,7 +8,7 @@
 //	experiments -workers 8 -seed 3
 //
 // Experiment names: table1 table2 table3 fig1 fig2a fig2b fig2c fig2d
-// fig3 fig4.
+// fig3 fig4 dist phases.
 package main
 
 import (
@@ -65,8 +65,9 @@ func main() {
 		"fig3":   func() *experiments.Table { return experiments.Fig3(p) },
 		"fig4":   func() *experiments.Table { return experiments.Fig4(p) },
 		"dist":   func() *experiments.Table { return experiments.Dist(p) },
+		"phases": func() *experiments.Table { return experiments.Phases(p) },
 	}
-	order := []string{"table1", "table2", "table3", "fig1", "fig2a", "fig2b", "fig2c", "fig2d", "fig3", "fig4", "dist"}
+	order := []string{"table1", "table2", "table3", "fig1", "fig2a", "fig2b", "fig2c", "fig2d", "fig3", "fig4", "dist", "phases"}
 
 	selected := order
 	if *expList != "all" {

@@ -1,10 +1,13 @@
 package bilinear
 
 import (
+	"context"
 	"fmt"
+	"runtime/trace"
 	"sync"
 
 	"abmm/internal/matrix"
+	"abmm/internal/obs"
 	"abmm/internal/parallel"
 	"abmm/internal/pool"
 )
@@ -28,6 +31,9 @@ type Options struct {
 	// 24 instead of 15 additions per step for Winograd's variant. It
 	// serves as the memory-lean mode and as an ablation point.
 	Direct bool
+	// Recorder, when non-nil, receives task spawn/inline events from
+	// the task-parallel schedules; nil disables recording at zero cost.
+	Recorder obs.Recorder
 }
 
 func (o Options) workers() int { return parallel.Resolve(o.Workers) }
@@ -64,6 +70,10 @@ type Engine struct {
 	mixed  []*Spec
 	levels int
 	cols   map[*Spec]*specCols
+	rec    obs.Recorder
+	// regionNames[level] names the runtime/trace region of a recursion
+	// node at that level (level counts down toward the base case at 0).
+	regionNames []string
 }
 
 // specCols caches the encoding coefficient columns of a spec.
@@ -100,7 +110,11 @@ func NewEngine(s *Spec, opt Options, levels int) *Engine {
 	if levels < 0 {
 		panic("bilinear: negative recursion depth")
 	}
-	e := &Engine{s: s, workers: opt.workers(), kernelWorkers: opt.workers(), direct: opt.Direct}
+	e := &Engine{s: s, workers: opt.workers(), kernelWorkers: opt.workers(), direct: opt.Direct, rec: opt.Recorder}
+	e.regionNames = make([]string, levels+1)
+	for l := 1; l <= levels; l++ {
+		e.regionNames[l] = fmt.Sprintf("bilinear.L%d", l)
+	}
 	if !e.direct {
 		s.Programs() // compile once before any parallel execution
 	}
@@ -160,6 +174,12 @@ func (e *Engine) ExecInto(c, a, b *matrix.Matrix, al pool.Allocator) {
 }
 
 func (e *Engine) recurse(c, a, b *matrix.Matrix, level int, al pool.Allocator) {
+	// With the execution tracer on, every recursion node above the base
+	// case emits a named region, so `go tool trace` shows the recursion
+	// tree under the per-multiplication task (see internal/obs).
+	if level > 0 && trace.IsEnabled() {
+		defer trace.StartRegion(context.Background(), e.regionNames[level]).End()
+	}
 	if level == 0 {
 		matrix.Mul(c, a, b, e.kernelWorkers)
 		return
@@ -226,7 +246,11 @@ func (e *Engine) recurseTasks(prods, souts, touts []*matrix.Matrix, level int, a
 		}(r)
 		// The last product always runs inline so the spawning
 		// goroutine contributes work instead of blocking.
-		if r == n-1 || !e.limiter.TrySpawn(&wg, task) {
+		spawned := r != n-1 && e.limiter.TrySpawn(&wg, task)
+		if e.rec != nil {
+			e.rec.TaskSpawn(spawned)
+		}
+		if !spawned {
 			task()
 		}
 	}
@@ -304,7 +328,11 @@ func (e *Engine) taskParallel(c, a, b *matrix.Matrix, level int, al pool.Allocat
 		}(r)
 		// The last product always runs inline so the spawning
 		// goroutine contributes work instead of blocking.
-		if r == s.R-1 || !e.limiter.TrySpawn(&wg, task) {
+		spawned := r != s.R-1 && e.limiter.TrySpawn(&wg, task)
+		if e.rec != nil {
+			e.rec.TaskSpawn(spawned)
+		}
+		if !spawned {
 			task()
 		}
 	}

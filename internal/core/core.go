@@ -16,6 +16,7 @@ import (
 
 	"abmm/internal/algos"
 	"abmm/internal/matrix"
+	"abmm/internal/obs"
 	"abmm/internal/parallel"
 )
 
@@ -38,6 +39,11 @@ type Options struct {
 	// PlanCache bounds the number of shape-keyed plans a Multiplier
 	// retains; 0 means DefaultPlanCache.
 	PlanCache int
+	// Recorder, when non-nil, receives per-phase spans, multiplication
+	// totals, task dispatch events, and arena traffic from every
+	// execution (see internal/obs). nil keeps the warm MultiplyInto
+	// path allocation-free and costs a handful of branches.
+	Recorder obs.Recorder
 }
 
 // AutoLevels is the Levels value requesting automatic selection.

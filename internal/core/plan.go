@@ -18,7 +18,9 @@ import (
 	"abmm/internal/basis"
 	"abmm/internal/bilinear"
 	"abmm/internal/matrix"
+	"abmm/internal/obs"
 	"abmm/internal/pool"
+	"abmm/internal/stability"
 )
 
 // PlanKey identifies a plan within one Multiplier: the operand shape of
@@ -60,6 +62,11 @@ type Plan struct {
 	eng                *bilinear.Engine
 	bopt               bilinear.Options
 
+	// rec receives execution events; info carries the shape, depth, and
+	// flop accountings every MulDone reports (see obs.MulInfo).
+	rec  obs.Recorder
+	info obs.MulInfo
+
 	arenas sync.Pool // of *pool.Arena
 	bytes  atomic.Int64
 }
@@ -92,11 +99,13 @@ func NewPlan(alg *algos.Algorithm, opt Options, m, k, n int) *Plan {
 		key:     PlanKey{M: m, K: k, N: n},
 		levels:  levels,
 		workers: w,
-		bopt:    bilinear.Options{Workers: w, TaskParallel: opt.TaskParallel, Direct: opt.Direct},
+		bopt:    bilinear.Options{Workers: w, TaskParallel: opt.TaskParallel, Direct: opt.Direct, Recorder: opt.Recorder},
+		rec:     opt.Recorder,
 	}
 	p.arenas.New = func() any { return pool.NewArena() }
 	if levels == 0 {
 		p.pm, p.pk, p.pn = m, k, n
+		p.compileInfo()
 		return p
 	}
 	s := alg.Spec
@@ -135,7 +144,22 @@ func NewPlan(alg *algos.Algorithm, opt Options, m, k, n int) *Plan {
 		}
 	}
 	p.eng = bilinear.NewEngine(s, p.bopt, levels)
+	p.compileInfo()
 	return p
+}
+
+// compileInfo precomputes the per-multiplication report: the classical
+// flop count of the caller's problem and the exact operation count of
+// the compiled algorithm at the padded shape. Both are pure functions
+// of the plan, so MulDone costs no arithmetic at execution time.
+func (p *Plan) compileInfo() {
+	m, k, n := int64(p.key.M), int64(p.key.K), int64(p.key.N)
+	p.info = obs.MulInfo{
+		M: p.key.M, K: p.key.K, N: p.key.N,
+		Levels:         p.levels,
+		ClassicalFlops: 2 * m * k * n,
+		AlgFlops:       stability.ArithmeticCost(p.alg, p.pm, p.pk, p.pn, p.levels).Total(),
+	}
 }
 
 // Key returns the operand shape the plan was compiled for.
@@ -173,15 +197,24 @@ func (p *Plan) MultiplyInto(dst, a, b *matrix.Matrix) {
 		panic(matrix.ErrShape)
 	}
 	w := p.workers
+	ms := obs.StartMul(p.rec, p.info)
 	if p.levels == 0 {
+		ps := ms.StartPhase(obs.PhaseBilinear)
 		matrix.MulInto(dst, a, b, w)
+		ps.End()
+		ms.End()
 		return
 	}
 	s := p.alg.Spec
 	ar := p.checkout()
 	defer p.release(ar)
+	var c0 pool.Counters
+	if p.rec != nil {
+		c0 = ar.Counters()
+	}
 
 	// Stage operands into stacked layout (padding first if needed).
+	ps := ms.StartPhase(obs.PhasePad)
 	as := ar.Mat(p.asR, p.asC)
 	bs := ar.Mat(p.bsR, p.bsC)
 	if p.padded {
@@ -197,40 +230,48 @@ func (p *Plan) MultiplyInto(dst, a, b *matrix.Matrix) {
 		bilinear.ToRecursiveInto(as, a, s.M0, s.K0, p.levels, w, ar)
 		bilinear.ToRecursiveInto(bs, b, s.K0, s.N0, p.levels, w, ar)
 	}
+	ps.End()
 
 	// Ã = φ(A), B̃ = ψ(B). The stacked buffers are plan-owned scratch,
 	// so square transforms run in place (the paper's (2⅔+o(1))n² memory
 	// footprint relies on this); dimension-changing decompositions go
 	// out of place into a second arena buffer.
-	if p.phi != nil {
-		if p.phiIP {
-			p.phi.ApplyInPlaceFrom(as, p.levels, w, ar)
-		} else {
-			t := ar.Mat(p.phiR, p.asC)
-			p.phi.ApplyInto(t, as, p.levels, w, ar)
-			ar.PutMat(as)
-			as = t
+	if p.phi != nil || p.psi != nil {
+		ps = ms.StartPhase(obs.PhaseForward)
+		if p.phi != nil {
+			if p.phiIP {
+				p.phi.ApplyInPlaceFrom(as, p.levels, w, ar)
+			} else {
+				t := ar.Mat(p.phiR, p.asC)
+				p.phi.ApplyInto(t, as, p.levels, w, ar)
+				ar.PutMat(as)
+				as = t
+			}
 		}
-	}
-	if p.psi != nil {
-		if p.psiIP {
-			p.psi.ApplyInPlaceFrom(bs, p.levels, w, ar)
-		} else {
-			t := ar.Mat(p.psiR, p.bsC)
-			p.psi.ApplyInto(t, bs, p.levels, w, ar)
-			ar.PutMat(bs)
-			bs = t
+		if p.psi != nil {
+			if p.psiIP {
+				p.psi.ApplyInPlaceFrom(bs, p.levels, w, ar)
+			} else {
+				t := ar.Mat(p.psiR, p.bsC)
+				p.psi.ApplyInto(t, bs, p.levels, w, ar)
+				ar.PutMat(bs)
+				bs = t
+			}
 		}
+		ps.End()
 	}
 
 	// Recursive-bilinear phase.
+	ps = ms.StartPhase(obs.PhaseBilinear)
 	cs := ar.Mat(p.csR, p.csC)
 	p.eng.ExecInto(cs, as, bs, ar)
 	ar.PutMat(as)
 	ar.PutMat(bs)
+	ps.End()
 
 	// C = νᵀ(C̃).
 	if p.nuT != nil {
+		ps = ms.StartPhase(obs.PhaseInverse)
 		if p.nuIP {
 			p.nuT.ApplyInPlaceFrom(cs, p.levels, w, ar)
 		} else {
@@ -239,10 +280,12 @@ func (p *Plan) MultiplyInto(dst, a, b *matrix.Matrix) {
 			ar.PutMat(cs)
 			cs = t
 		}
+		ps.End()
 	}
 
 	// Unstack and crop. When no padding was needed the stacked result
 	// unpacks straight into dst.
+	ps = ms.StartPhase(obs.PhaseCrop)
 	if p.padded {
 		cp := ar.Mat(p.pm, p.pn)
 		bilinear.FromRecursiveInto(cp, cs, s.M0, s.N0, p.levels, w, ar)
@@ -252,6 +295,18 @@ func (p *Plan) MultiplyInto(dst, a, b *matrix.Matrix) {
 		bilinear.FromRecursiveInto(dst, cs, s.M0, s.N0, p.levels, w, ar)
 	}
 	ar.PutMat(cs)
+	ps.End()
+
+	if p.rec != nil {
+		c1 := ar.Counters()
+		p.rec.ArenaRelease(obs.ArenaUsage{
+			AllocBytes:     c1.AllocBytes,
+			HighWaterBytes: c1.HighWaterBytes,
+			RequestedBytes: c1.RequestedBytes - c0.RequestedBytes,
+			ReusedBytes:    c1.ReusedBytes - c0.ReusedBytes,
+		})
+	}
+	ms.End()
 }
 
 // Multiply is the allocating convenience form of MultiplyInto.
@@ -269,16 +324,17 @@ func ipow(b, e int) int {
 	return v
 }
 
-// CacheStats reports the state of a Multiplier's plan cache.
+// CacheStats reports the state of a Multiplier's plan cache. The JSON
+// field names are part of the `cmd/abmm -stats-json` schema.
 type CacheStats struct {
-	Hits      uint64 // lookups served by a cached plan
-	Misses    uint64 // lookups that compiled a new plan
-	Evictions uint64 // plans dropped by the LRU policy
-	Plans     int    // plans currently cached
+	Hits      uint64 `json:"hits"`      // lookups served by a cached plan
+	Misses    uint64 `json:"misses"`    // lookups that compiled a new plan
+	Evictions uint64 `json:"evictions"` // plans dropped by the LRU policy
+	Plans     int    `json:"plans"`     // plans currently cached
 	// ArenaBytes sums each cached plan's high-water workspace bytes: an
 	// upper bound on the float storage the caches retain per concurrent
 	// execution stream.
-	ArenaBytes int64
+	ArenaBytes int64 `json:"arena_bytes"`
 }
 
 // String formats the stats the way cmd/abmm reports them.

@@ -33,6 +33,10 @@ type Params struct {
 	// Fig4Size and Fig4Runs drive the scaling study.
 	Fig4Size int
 	Fig4Runs int
+	// PhaseSize and PhaseLevels drive the observability phase-breakdown
+	// table (per-phase wall time and effective GFLOPS).
+	PhaseSize   int
+	PhaseLevels []int
 	// Reps is the number of timing repetitions (median reported).
 	Reps int
 	// Workers bounds parallelism (0 = GOMAXPROCS).
@@ -54,6 +58,8 @@ func Default() Params {
 		Fig3Runs:    10,
 		Fig4Size:    512,
 		Fig4Runs:    10,
+		PhaseSize:   1024,
+		PhaseLevels: []int{1, 2},
 		Reps:        3,
 		Seed:        1,
 	}

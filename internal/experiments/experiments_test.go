@@ -122,3 +122,32 @@ func mustScanF(t *testing.T, s string, dst *float64) {
 		t.Fatalf("cannot parse %q: %v", s, err)
 	}
 }
+
+func TestPhasesBreakdown(t *testing.T) {
+	p := tinyParams()
+	p.PhaseSize = 96
+	p.PhaseLevels = []int{1}
+	tab := Phases(p)
+	if len(tab.Rows) != 4 { // one per ⟨2,2,2;7⟩ algorithm
+		t.Fatalf("want 4 rows, got %d", len(tab.Rows))
+	}
+	for _, row := range tab.Rows {
+		// Shares (columns 3..7) must sum to ~100% of wall time.
+		var sum float64
+		for _, cell := range row[3:8] {
+			var v float64
+			mustScanF(t, strings.TrimSuffix(cell, "%"), &v)
+			sum += v
+		}
+		if sum < 90 || sum > 101 {
+			t.Errorf("%s L=%s: phase shares sum to %.1f%%, want ~100%%", row[0], row[1], sum)
+		}
+		// A warm plan reuses its scratch (exactly 1.000 unless a GC
+		// cycle reclaims the pooled arena mid-test, so allow slack).
+		var reuse float64
+		mustScanF(t, row[10], &reuse)
+		if reuse < 0.5 {
+			t.Errorf("%s L=%s: warm arena reuse %.3f, want ~1", row[0], row[1], reuse)
+		}
+	}
+}

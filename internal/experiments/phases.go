@@ -1,0 +1,58 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"abmm/internal/core"
+	"abmm/internal/matrix"
+	"abmm/internal/obs"
+)
+
+// Phases tabulates the per-phase runtime attribution of the multiply
+// pipeline — the measurement behind the paper's Section VI discussion
+// of transform overhead versus the recursive core. For each ⟨2,2,2;7⟩
+// algorithm and recursion depth it runs warm same-shape
+// multiplications with a stats Collector attached and reports each
+// Algorithm 1 phase's share of wall time, the effective and
+// classical-equivalent GFLOPS, and the arena scratch-reuse ratio
+// (1.000 on a fully warm plan).
+func Phases(p Params) *Table {
+	n := p.PhaseSize
+	t := &Table{
+		Title: fmt.Sprintf("Phase breakdown at n=%d (warm plans, %d rep(s), workers=%d)",
+			n, p.Reps, p.workers()),
+		Header: []string{"algorithm", "L", "time", "pad", "forward", "bilinear", "inverse", "crop",
+			"eff GF/s", "cl-eq GF/s", "reuse"},
+	}
+	w := p.workers()
+	a, b := matrix.New(n, n), matrix.New(n, n)
+	matrix.FillPair(a, b, matrix.DistSymmetric, matrix.Rand(p.Seed))
+	c := matrix.New(n, n)
+	for _, alg := range fig2Algorithms() {
+		for _, l := range p.PhaseLevels {
+			rec := obs.NewCollector()
+			mu := core.New(alg, core.Options{Levels: l, Workers: w, Recorder: rec})
+			mu.MultiplyInto(c, a, b) // compile the plan, warm the arenas
+			rec.Reset()
+			for r := 0; r < p.Reps; r++ {
+				mu.MultiplyInto(c, a, b)
+			}
+			s := rec.Snapshot()
+			perMul := time.Duration(s.Seconds / float64(s.Mults) * 1e9)
+			row := []string{alg.Name, fmt.Sprintf("%d", l), perMul.Round(time.Millisecond).String()}
+			for _, ph := range s.Phases {
+				row = append(row, fmt.Sprintf("%.1f%%", 100*ph.Share))
+			}
+			row = append(row,
+				fmt.Sprintf("%.2f", s.EffectiveGFLOPS),
+				fmt.Sprintf("%.2f", s.ClassicalGFLOPS),
+				fmt.Sprintf("%.3f", s.Arena.ReuseRatio))
+			t.Rows = append(t.Rows, row)
+		}
+	}
+	t.Notes = append(t.Notes,
+		"phase shares are fractions of multiplication wall time and sum to ~100%",
+		"eff GF/s rates the algorithm's true operation count; cl-eq GF/s the classical 2n³")
+	return t
+}

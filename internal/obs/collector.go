@@ -1,0 +1,257 @@
+package obs
+
+import (
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// Collector is the concrete Recorder: lock-free atomic aggregation of
+// phase spans, multiplication totals, task dispatch counts, and arena
+// traffic. All methods are safe for concurrent use and tolerate a nil
+// receiver (a nil *Collector records nothing), so it can be threaded
+// through Options unconditionally.
+type Collector struct {
+	labels atomic.Bool
+
+	mulCount       atomic.Int64
+	mulNanos       atomic.Int64
+	classicalFlops atomic.Int64
+	algFlops       atomic.Int64
+	maxLevels      atomic.Int64
+
+	phases [NumPhases]phaseAgg
+
+	tasksSpawned atomic.Int64
+	tasksInline  atomic.Int64
+
+	arenaReleases  atomic.Int64
+	arenaAlloc     atomic.Int64 // max AllocBytes seen across releases
+	arenaHighWater atomic.Int64 // max HighWaterBytes seen across releases
+	arenaRequested atomic.Int64 // sum
+	arenaReused    atomic.Int64 // sum
+}
+
+type phaseAgg struct {
+	count atomic.Int64
+	nanos atomic.Int64
+}
+
+// NewCollector returns an empty Collector.
+func NewCollector() *Collector { return &Collector{} }
+
+// SetPprofLabels enables or disables per-phase goroutine pprof labels
+// for executions recorded through this collector; see PprofLabeler.
+func (c *Collector) SetPprofLabels(on bool) {
+	if c != nil {
+		c.labels.Store(on)
+	}
+}
+
+// PprofLabels implements PprofLabeler.
+func (c *Collector) PprofLabels() bool { return c != nil && c.labels.Load() }
+
+// PhaseDone implements Recorder.
+func (c *Collector) PhaseDone(p Phase, d time.Duration) {
+	if c == nil || int(p) >= NumPhases {
+		return
+	}
+	c.phases[p].count.Add(1)
+	c.phases[p].nanos.Add(int64(d))
+}
+
+// MulDone implements Recorder.
+func (c *Collector) MulDone(info MulInfo, total time.Duration) {
+	if c == nil {
+		return
+	}
+	c.mulCount.Add(1)
+	c.mulNanos.Add(int64(total))
+	c.classicalFlops.Add(info.ClassicalFlops)
+	c.algFlops.Add(info.AlgFlops)
+	atomicMax(&c.maxLevels, int64(info.Levels))
+}
+
+// TaskSpawn implements Recorder.
+func (c *Collector) TaskSpawn(spawned bool) {
+	if c == nil {
+		return
+	}
+	if spawned {
+		c.tasksSpawned.Add(1)
+	} else {
+		c.tasksInline.Add(1)
+	}
+}
+
+// ArenaRelease implements Recorder.
+func (c *Collector) ArenaRelease(u ArenaUsage) {
+	if c == nil {
+		return
+	}
+	c.arenaReleases.Add(1)
+	atomicMax(&c.arenaAlloc, u.AllocBytes)
+	atomicMax(&c.arenaHighWater, u.HighWaterBytes)
+	c.arenaRequested.Add(u.RequestedBytes)
+	c.arenaReused.Add(u.ReusedBytes)
+}
+
+// Reset clears every counter (pprof-label preference survives).
+func (c *Collector) Reset() {
+	if c == nil {
+		return
+	}
+	c.mulCount.Store(0)
+	c.mulNanos.Store(0)
+	c.classicalFlops.Store(0)
+	c.algFlops.Store(0)
+	c.maxLevels.Store(0)
+	for i := range c.phases {
+		c.phases[i].count.Store(0)
+		c.phases[i].nanos.Store(0)
+	}
+	c.tasksSpawned.Store(0)
+	c.tasksInline.Store(0)
+	c.arenaReleases.Store(0)
+	c.arenaAlloc.Store(0)
+	c.arenaHighWater.Store(0)
+	c.arenaRequested.Store(0)
+	c.arenaReused.Store(0)
+}
+
+func atomicMax(a *atomic.Int64, v int64) {
+	for {
+		cur := a.Load()
+		if v <= cur || a.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// PhaseStats is one phase's aggregate in a Snapshot.
+type PhaseStats struct {
+	Name    string  `json:"name"`
+	Count   int64   `json:"count"`
+	Seconds float64 `json:"seconds"`
+	// Share is the phase's fraction of total multiplication wall time;
+	// the shares of a single-threaded pipeline sum to ~1.
+	Share float64 `json:"share"`
+}
+
+// ArenaStats is the workspace-arena aggregate in a Snapshot.
+type ArenaStats struct {
+	Releases       int64   `json:"releases"`
+	AllocBytes     int64   `json:"alloc_bytes"`
+	HighWaterBytes int64   `json:"high_water_bytes"`
+	RequestedBytes int64   `json:"requested_bytes"`
+	ReusedBytes    int64   `json:"reused_bytes"`
+	ReuseRatio     float64 `json:"reuse_ratio"`
+}
+
+// Snapshot is a point-in-time copy of a Collector, shaped for JSON
+// export (this schema is pinned by a golden test; extend it, don't
+// rename fields) and for the human-readable Report.
+type Snapshot struct {
+	Mults   int64   `json:"mults"`
+	Levels  int     `json:"levels"`
+	Seconds float64 `json:"seconds"`
+	// ClassicalGFLOPS rates the classical flop count 2mkn against wall
+	// time (the "classical-equivalent" rate hardware vendors quote);
+	// EffectiveGFLOPS rates the algorithm's true operation count, which
+	// is lower for fast algorithms.
+	ClassicalGFLOPS float64      `json:"classical_gflops"`
+	EffectiveGFLOPS float64      `json:"effective_gflops"`
+	ClassicalFlops  int64        `json:"classical_flops"`
+	AlgFlops        int64        `json:"alg_flops"`
+	Phases          []PhaseStats `json:"phases"`
+	TasksSpawned    int64        `json:"tasks_spawned"`
+	TasksInline     int64        `json:"tasks_inline"`
+	Arena           ArenaStats   `json:"arena"`
+}
+
+// Snapshot returns a consistent-enough copy for reporting: counters are
+// read individually (not under a lock), so a snapshot taken while
+// executions are in flight may be off by a fraction of one execution.
+func (c *Collector) Snapshot() Snapshot {
+	var s Snapshot
+	s.Phases = make([]PhaseStats, NumPhases)
+	for i := range s.Phases {
+		s.Phases[i].Name = Phase(i).String()
+	}
+	if c == nil {
+		return s
+	}
+	s.Mults = c.mulCount.Load()
+	s.Levels = int(c.maxLevels.Load())
+	nanos := c.mulNanos.Load()
+	s.Seconds = float64(nanos) / 1e9
+	s.ClassicalFlops = c.classicalFlops.Load()
+	s.AlgFlops = c.algFlops.Load()
+	if nanos > 0 {
+		s.ClassicalGFLOPS = float64(s.ClassicalFlops) / float64(nanos)
+		s.EffectiveGFLOPS = float64(s.AlgFlops) / float64(nanos)
+	}
+	for i := range s.Phases {
+		s.Phases[i].Count = c.phases[i].count.Load()
+		pn := c.phases[i].nanos.Load()
+		s.Phases[i].Seconds = float64(pn) / 1e9
+		if nanos > 0 {
+			s.Phases[i].Share = float64(pn) / float64(nanos)
+		}
+	}
+	s.TasksSpawned = c.tasksSpawned.Load()
+	s.TasksInline = c.tasksInline.Load()
+	s.Arena = ArenaStats{
+		Releases:       c.arenaReleases.Load(),
+		AllocBytes:     c.arenaAlloc.Load(),
+		HighWaterBytes: c.arenaHighWater.Load(),
+		RequestedBytes: c.arenaRequested.Load(),
+		ReusedBytes:    c.arenaReused.Load(),
+	}
+	if s.Arena.RequestedBytes > 0 {
+		s.Arena.ReuseRatio = float64(s.Arena.ReusedBytes) / float64(s.Arena.RequestedBytes)
+	}
+	return s
+}
+
+// String renders the snapshot as JSON, making *Collector an
+// expvar.Var; see Publish.
+func (c *Collector) String() string {
+	b, err := json.Marshal(c.Snapshot())
+	if err != nil {
+		return "{}"
+	}
+	return string(b)
+}
+
+// Publish registers the collector with the expvar registry under name,
+// so /debug/vars (or any expvar consumer) serves live snapshots.
+// Registering the same name twice is an expvar panic; Publish makes the
+// second registration a no-op instead.
+func Publish(name string, c *Collector) {
+	if expvar.Get(name) != nil {
+		return
+	}
+	expvar.Publish(name, c)
+}
+
+// Report renders the snapshot as an aligned human-readable block.
+func (s Snapshot) Report() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d multiplication(s), levels ≤ %d, wall %.3fs\n", s.Mults, s.Levels, s.Seconds)
+	fmt.Fprintf(&b, "  %-10s %8s %12s %7s\n", "phase", "count", "time", "share")
+	for _, p := range s.Phases {
+		fmt.Fprintf(&b, "  %-10s %8d %12s %6.1f%%\n",
+			p.Name, p.Count, time.Duration(p.Seconds*1e9).Round(time.Microsecond), 100*p.Share)
+	}
+	fmt.Fprintf(&b, "  throughput: %.2f classical-equivalent GFLOP/s, %.2f effective GFLOP/s\n",
+		s.ClassicalGFLOPS, s.EffectiveGFLOPS)
+	fmt.Fprintf(&b, "  tasks: %d spawned, %d inline\n", s.TasksSpawned, s.TasksInline)
+	fmt.Fprintf(&b, "  arena: %.1f MiB allocated, %.1f MiB high-water, %.1f%% scratch reuse (%d release(s))",
+		float64(s.Arena.AllocBytes)/(1<<20), float64(s.Arena.HighWaterBytes)/(1<<20),
+		100*s.Arena.ReuseRatio, s.Arena.Releases)
+	return b.String()
+}

@@ -82,6 +82,17 @@ type Arena struct {
 	mats [64][][]*matrix.Matrix
 	// bytes is the total float64 storage ever allocated by this arena.
 	bytes int64
+	// reused/requested count float64 bytes served from a warm free list
+	// and total float64 bytes handed out, over the arena's lifetime.
+	reused    int64
+	requested int64
+	// live/liveHW track currently-outstanding float64 bytes and their
+	// high-water mark; outstanding/classHW the same per size class in
+	// buffer counts.
+	live        int64
+	liveHW      int64
+	outstanding [64]int32
+	classHW     [64]int32
 }
 
 // NewArena returns an empty workspace.
@@ -96,19 +107,101 @@ func (a *Arena) Bytes() int64 {
 	return a.bytes
 }
 
+// Counters is the scalar, allocation-free view of an arena's traffic;
+// see Stats for the per-size-class breakdown.
+type Counters struct {
+	// AllocBytes is the lifetime float64 storage allocated (== Bytes).
+	AllocBytes int64
+	// RequestedBytes is the lifetime float64 scratch handed out;
+	// ReusedBytes the portion served from warm free lists. Their
+	// difference is AllocBytes.
+	RequestedBytes int64
+	ReusedBytes    int64
+	// LiveBytes is the float64 scratch currently checked out;
+	// HighWaterBytes its lifetime peak — the true simultaneous
+	// workspace requirement, as opposed to AllocBytes which also counts
+	// fragmentation across size classes.
+	LiveBytes      int64
+	HighWaterBytes int64
+}
+
+// Counters returns the arena's scalar traffic counters.
+func (a *Arena) Counters() Counters {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return Counters{
+		AllocBytes:     a.bytes,
+		RequestedBytes: a.requested,
+		ReusedBytes:    a.reused,
+		LiveBytes:      a.live,
+		HighWaterBytes: a.liveHW,
+	}
+}
+
+// ClassStat is one size class's high-water mark.
+type ClassStat struct {
+	// Elems is the buffer capacity of the class in float64s (a power of
+	// two); Bytes the corresponding storage per buffer.
+	Elems int
+	Bytes int64
+	// HighWater is the peak number of simultaneously checked-out
+	// buffers of this class; Free the buffers currently on the free
+	// list.
+	HighWater int
+	Free      int
+}
+
+// Stats reports the scalar counters plus the per-size-class high-water
+// marks (classes that never served a buffer are omitted).
+func (a *Arena) Stats() (Counters, []ClassStat) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	c := Counters{
+		AllocBytes:     a.bytes,
+		RequestedBytes: a.requested,
+		ReusedBytes:    a.reused,
+		LiveBytes:      a.live,
+		HighWaterBytes: a.liveHW,
+	}
+	var classes []ClassStat
+	for cl, hw := range a.classHW {
+		if hw == 0 {
+			continue
+		}
+		classes = append(classes, ClassStat{
+			Elems:     1 << cl,
+			Bytes:     int64(8) << cl,
+			HighWater: int(hw),
+			Free:      len(a.floats[cl]),
+		})
+	}
+	return c, classes
+}
+
 func (a *Arena) Floats(n int) []float64 {
 	if n == 0 {
 		return nil
 	}
 	class := bits.Len(uint(n - 1))
+	size := int64(8) << class
 	a.mu.Lock()
+	a.requested += size
+	a.live += size
+	if a.live > a.liveHW {
+		a.liveHW = a.live
+	}
+	a.outstanding[class]++
+	if a.outstanding[class] > a.classHW[class] {
+		a.classHW[class] = a.outstanding[class]
+	}
 	if l := len(a.floats[class]); l > 0 {
 		buf := a.floats[class][l-1]
 		a.floats[class] = a.floats[class][:l-1]
+		a.reused += size
 		a.mu.Unlock()
 		return buf[:n]
 	}
-	a.bytes += int64(8) << class
+	a.bytes += size
 	a.mu.Unlock()
 	return make([]float64, n, 1<<class)
 }
@@ -124,6 +217,8 @@ func (a *Arena) PutFloats(buf []float64) {
 	}
 	a.mu.Lock()
 	a.floats[class] = append(a.floats[class], buf[:c])
+	a.live -= int64(8) << class
+	a.outstanding[class]--
 	a.mu.Unlock()
 }
 

@@ -53,3 +53,63 @@ func TestPutForeignBufferIgnored(t *testing.T) {
 	// Non-power-of-two capacity buffers are not pooled; must not panic.
 	Put(make([]float64, 3, 7))
 }
+
+func TestArenaCounters(t *testing.T) {
+	a := NewArena()
+	b1 := a.Floats(100) // class 128 → 1024 B, fresh
+	b2 := a.Floats(100) // second simultaneous buffer, fresh
+	c := a.Counters()
+	if c.AllocBytes != 2048 || c.RequestedBytes != 2048 || c.ReusedBytes != 0 {
+		t.Fatalf("after two fresh checkouts: %+v", c)
+	}
+	if c.LiveBytes != 2048 || c.HighWaterBytes != 2048 {
+		t.Fatalf("live accounting: %+v", c)
+	}
+	a.PutFloats(b1)
+	a.PutFloats(b2)
+	b3 := a.Floats(120) // same class, must reuse
+	c = a.Counters()
+	if c.AllocBytes != 2048 {
+		t.Fatalf("reuse should not allocate: %+v", c)
+	}
+	if c.ReusedBytes != 1024 || c.RequestedBytes != 3072 {
+		t.Fatalf("reuse accounting: %+v", c)
+	}
+	if c.LiveBytes != 1024 || c.HighWaterBytes != 2048 {
+		t.Fatalf("high-water should persist after release: %+v", c)
+	}
+	a.PutFloats(b3)
+}
+
+func TestArenaClassHighWater(t *testing.T) {
+	a := NewArena()
+	small := a.Floats(8)   // class 8
+	big1 := a.Floats(1000) // class 1024
+	big2 := a.Floats(1000)
+	a.PutFloats(big1)
+	a.PutFloats(big2)
+	a.PutFloats(small)
+	_, classes := a.Stats()
+	if len(classes) != 2 {
+		t.Fatalf("want 2 active classes, got %+v", classes)
+	}
+	byElems := map[int]ClassStat{}
+	for _, cs := range classes {
+		byElems[cs.Elems] = cs
+	}
+	if cs := byElems[8]; cs.HighWater != 1 || cs.Free != 1 || cs.Bytes != 64 {
+		t.Fatalf("class 8: %+v", cs)
+	}
+	if cs := byElems[1024]; cs.HighWater != 2 || cs.Free != 2 {
+		t.Fatalf("class 1024: %+v", cs)
+	}
+	// A fully warm pass keeps the class high-water at its peak.
+	x := a.Floats(1000)
+	a.PutFloats(x)
+	_, classes = a.Stats()
+	for _, cs := range classes {
+		if cs.Elems == 1024 && cs.HighWater != 2 {
+			t.Fatalf("warm pass moved high-water: %+v", cs)
+		}
+	}
+}

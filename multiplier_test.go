@@ -134,6 +134,32 @@ func TestMultiplyIntoZeroAllocWarm(t *testing.T) {
 	}
 }
 
+// TestMultiplyIntoZeroAllocRecorder extends the warm-path guarantee to
+// observability: attaching a live Collector must not cost allocations —
+// spans are value types and the collector aggregates with atomics.
+func TestMultiplyIntoZeroAllocRecorder(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts differ under the race detector")
+	}
+	alg, _ := abmm.Lookup("ours")
+	const n = 128
+	a, b, dst := abmm.NewMatrix(n, n), abmm.NewMatrix(n, n), abmm.NewMatrix(n, n)
+	a.FillUniform(abmm.Rand(1), -1, 1)
+	b.FillUniform(abmm.Rand(2), -1, 1)
+	rec := abmm.NewCollector()
+	mu := abmm.NewMultiplier(alg, abmm.Options{Levels: 2, Workers: 1, Recorder: rec})
+	mu.MultiplyInto(dst, a, b)
+	mu.MultiplyInto(dst, a, b)
+	if av := testing.AllocsPerRun(10, func() { mu.MultiplyInto(dst, a, b) }); av != 0 {
+		t.Fatalf("warm MultiplyInto with Collector allocated %.1f objects/op, want 0", av)
+	}
+	// The snapshot spans the cold compile too, so lifetime scratch
+	// reuse is slightly below 1; the warm majority dominates.
+	if s := rec.Snapshot(); s.Mults < 12 || s.Arena.ReuseRatio < 0.9 {
+		t.Fatalf("collector missed warm runs: %+v", s)
+	}
+}
+
 // TestMultiplierConcurrent hammers one shared Multiplier from many
 // goroutines over mixed shapes and checks every product against the
 // classical kernel. Under `go test -race` this exercises the plan
