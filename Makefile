@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet bench trace-demo clean
+.PHONY: all build test race vet bench bench-json bench-compare trace-demo clean
 
 all: build vet test
 
@@ -26,6 +26,15 @@ vet:
 # observability overhead guard (0 allocs/op with a recorder attached).
 bench:
 	$(GO) test -run xxx -bench 'BenchmarkMultiplyInto' -benchmem .
+
+# Durable benchmark trajectory (cmd/bench): run the fixed matrix and
+# write the next BENCH_<k>.json, or re-run and diff against the
+# committed BENCH_0.json baseline (nonzero exit on regression).
+bench-json:
+	$(GO) run ./cmd/bench
+
+bench-compare:
+	$(GO) run ./cmd/bench -o /tmp/abmm-bench-head.json -compare BENCH_0.json
 
 # Record an execution trace of one multiplication and open the viewer:
 # task "abmm.multiply", regions per pipeline phase, and per-node

@@ -40,7 +40,9 @@ package abmm
 
 import (
 	"fmt"
+	"io"
 	"math/rand/v2"
+	"net/http"
 	"sort"
 	"sync"
 
@@ -95,6 +97,11 @@ type CacheStats = core.CacheStats
 // keeps the warm MultiplyInto path at 0 allocs/op.
 type Recorder = obs.Recorder
 
+// ErrorSampler is the optional Recorder refinement that receives
+// sampled accuracy measurements when Options.ErrorSampleEvery is set;
+// Collector implements it.
+type ErrorSampler = obs.ErrorSampler
+
 // Collector is the standard Recorder: race-safe atomic aggregation
 // with JSON (Snapshot), human-readable (Snapshot().Report()), and
 // expvar (PublishStats) export. Attach one via Options.Recorder:
@@ -107,8 +114,13 @@ type Collector = obs.Collector
 
 // Snapshot is a point-in-time copy of a Collector: per-phase wall time
 // and shares, classical-equivalent and effective GFLOPS, task and
-// arena counters.
+// arena counters, latency/arena/error histograms (p50/p95/p99), and
+// the sampled measured-vs-bound accuracy summary.
 type Snapshot = obs.Snapshot
+
+// HistStats is the distribution summary (count, p50/p95/p99, max)
+// embedded in Snapshot histogram fields.
+type HistStats = obs.HistStats
 
 // NewCollector returns an empty stats Collector.
 func NewCollector() *Collector { return obs.NewCollector() }
@@ -117,6 +129,24 @@ func NewCollector() *Collector { return obs.NewCollector() }
 // /debug/vars serves live engine snapshots; re-registering a name is a
 // no-op.
 func PublishStats(name string, c *Collector) { obs.Publish(name, c) }
+
+// StatsServer is a running observability HTTP server; see ServeStats.
+type StatsServer = obs.Server
+
+// ServeStats starts the stdlib-only observability HTTP server for a
+// Collector on addr (":0" picks a free port): Prometheus text format
+// at /metrics, the expvar registry at /debug/vars (use PublishStats to
+// register the collector there), and net/http/pprof under
+// /debug/pprof. Serving continues in the background until Close.
+func ServeStats(addr string, c *Collector) (*StatsServer, error) { return obs.Serve(addr, c) }
+
+// StatsHandler returns the observability HTTP handler for mounting
+// into an existing server; see ServeStats for the routes.
+func StatsHandler(c *Collector) http.Handler { return obs.Handler(c) }
+
+// WriteStatsMetrics renders the collector's current state in
+// Prometheus text exposition format.
+func WriteStatsMetrics(w io.Writer, c *Collector) { obs.WriteMetrics(w, c) }
 
 // NewMultiplier returns a reusable Multiplier for the algorithm. Prefer
 // it over repeated Multiply calls when multiplying many times: the

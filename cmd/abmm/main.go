@@ -10,6 +10,7 @@
 //	abmm -alg ours -n 1024 -levels 2 -stats-json          # machine-readable stats
 //	abmm -alg ours -n 1024 -levels 2 -trace trace.out     # go tool trace trace.out
 //	abmm -alg ours -n 1024 -levels 2 -pprof cpu.out       # profile with phase labels
+//	abmm -alg ours -n 4096 -listen :8080                  # /metrics, /debug/vars, /debug/pprof
 //
 // Bad flags and flag combinations exit with status 2 and usage text;
 // runtime failures (unwritable trace/profile files) exit with status 1.
@@ -47,6 +48,7 @@ func main() {
 		statsJSON = flag.Bool("stats-json", false, "emit all results as one JSON document on stdout (suppresses human output)")
 		traceFile = flag.String("trace", "", "write a runtime/trace of the run to this file (open with 'go tool trace')")
 		pprofFile = flag.String("pprof", "", "write a CPU profile of the run to this file, tagging samples with per-phase pprof labels")
+		listen    = flag.String("listen", "", "serve Prometheus /metrics, /debug/vars, and /debug/pprof on this address for the duration of the run")
 	)
 	flag.Parse()
 
@@ -125,6 +127,16 @@ func main() {
 	rec := abmm.NewCollector()
 	rec.SetPprofLabels(*pprofFile != "")
 	opt.Recorder = rec
+
+	if *listen != "" {
+		abmm.PublishStats("abmm", rec)
+		srv, err := abmm.ServeStats(*listen, rec)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "abmm: serving metrics on %s\n", srv.URL())
+	}
 
 	if *traceFile != "" {
 		f, err := os.Create(*traceFile)

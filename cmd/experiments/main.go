@@ -9,12 +9,17 @@
 //
 // Experiment names: table1 table2 table3 fig1 fig2a fig2b fig2c fig2d
 // fig3 fig4 dist phases.
+//
+// Bad flags, unknown experiment names, and malformed size lists exit
+// with status 2 and usage text (matching cmd/abmm and cmd/bench);
+// runtime failures exit with status 1.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
 	"strconv"
 	"strings"
 
@@ -33,6 +38,16 @@ func main() {
 	)
 	flag.Parse()
 
+	if flag.NArg() > 0 {
+		usageErr("unexpected arguments: %q", flag.Args())
+	}
+	if *workers < 0 {
+		usageErr("-workers must be non-negative (0 = GOMAXPROCS), got %d", *workers)
+	}
+	if *reps < 0 {
+		usageErr("-reps must be non-negative (0 = preset default), got %d", *reps)
+	}
+
 	p := experiments.Default()
 	if *paper {
 		p = experiments.Paper()
@@ -46,8 +61,8 @@ func main() {
 		p.Fig2ASizes = nil
 		for _, tok := range strings.Split(*sizes, ",") {
 			n, err := strconv.Atoi(strings.TrimSpace(tok))
-			if err != nil {
-				log.Fatalf("bad -fig2a-sizes: %v", err)
+			if err != nil || n <= 0 {
+				usageErr("-fig2a-sizes must be comma-separated positive integers, got %q", *sizes)
 			}
 			p.Fig2ASizes = append(p.Fig2ASizes, n)
 		}
@@ -74,11 +89,19 @@ func main() {
 		selected = strings.Split(*expList, ",")
 	}
 	for _, name := range selected {
-		name = strings.TrimSpace(name)
-		run, ok := runners[name]
-		if !ok {
-			log.Fatalf("unknown experiment %q (have %v)", name, order)
+		if _, ok := runners[strings.TrimSpace(name)]; !ok {
+			usageErr("unknown experiment %q (have %v)", strings.TrimSpace(name), order)
 		}
-		fmt.Println(run())
 	}
+	for _, name := range selected {
+		fmt.Println(runners[strings.TrimSpace(name)]())
+	}
+}
+
+// usageErr reports a flag error with usage text and exits with status
+// 2 (the conventional flag-error exit code; runtime failures exit 1).
+func usageErr(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "experiments: "+format+"\n\n", args...)
+	flag.Usage()
+	os.Exit(2)
 }

@@ -1,0 +1,170 @@
+package bench
+
+// Tests for the benchmark-trajectory harness: a real (tiny) matrix
+// run produces coherent cells, files round-trip through JSON, and
+// Compare flags exactly the injected synthetic regressions that the
+// cmd/bench exit-code contract depends on.
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+func tinyConfig() Config {
+	return Config{Alg: "ours", Sizes: []int{48}, Levels: []int{1}, Workers: []int{1}, Reps: 2}
+}
+
+func TestRunTinyMatrix(t *testing.T) {
+	f, err := Run(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Schema != Schema || f.GoVersion == "" || f.GOMAXPROCS < 1 {
+		t.Fatalf("environment stamp incomplete: %+v", f)
+	}
+	if len(f.Cells) != 1 {
+		t.Fatalf("1-cell config produced %d cells", len(f.Cells))
+	}
+	c := f.Cells[0]
+	if c.Key() != "ours/n=48/L=1/w=1" {
+		t.Fatalf("cell key %q", c.Key())
+	}
+	if !(c.NsPerOp > 0) || !(c.GFLOPS > 0) || !(c.P99Seconds > 0) {
+		t.Fatalf("timing fields not populated: %+v", c)
+	}
+	if !(c.MaxRelError > 0) || !(c.MaxRelError < 1e-12) {
+		t.Fatalf("measured error %g outside plausible (0, 1e-12)", c.MaxRelError)
+	}
+	if !(c.BoundRatio > 0) || c.BoundRatio >= 1 {
+		t.Fatalf("bound ratio %g, want in (0, 1)", c.BoundRatio)
+	}
+}
+
+func TestRunRejectsUnknownAlgorithm(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.Alg = "no-such-algorithm"
+	if _, err := Run(cfg); err == nil {
+		t.Fatal("unknown algorithm accepted")
+	}
+}
+
+func TestFileRoundTrip(t *testing.T) {
+	f := &File{
+		Schema: Schema, GitSHA: "abc1234", GoVersion: "go1.22", GOOS: "linux", GOARCH: "amd64",
+		GOMAXPROCS: 8, Reps: 5,
+		Cells: []Cell{{Alg: "ours", N: 256, Levels: 2, Workers: 1,
+			NsPerOp: 1e6, GFLOPS: 33.5, AllocsPerOp: 0, P99Seconds: 1.2e-3,
+			MaxRelError: 3e-16, BoundRatio: 0.01}},
+	}
+	path := filepath.Join(t.TempDir(), "BENCH_x.json")
+	if err := f.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Cells) != 1 || got.Cells[0] != f.Cells[0] {
+		t.Fatalf("round trip mangled cells: %+v", got.Cells)
+	}
+	if got.GitSHA != f.GitSHA || got.GOMAXPROCS != f.GOMAXPROCS {
+		t.Fatalf("round trip mangled stamp: %+v", got)
+	}
+}
+
+func TestReadFileRejectsWrongSchema(t *testing.T) {
+	f := &File{Schema: Schema + 99}
+	path := filepath.Join(t.TempDir(), "BENCH_bad.json")
+	if err := f.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadFile(path); err == nil {
+		t.Fatal("wrong schema accepted")
+	}
+}
+
+func TestAutoPathSkipsExisting(t *testing.T) {
+	dir := t.TempDir()
+	if got, want := AutoPath(dir), filepath.Join(dir, "BENCH_0.json"); got != want {
+		t.Fatalf("empty dir: %q, want %q", got, want)
+	}
+	if err := (&File{Schema: Schema}).WriteFile(filepath.Join(dir, "BENCH_0.json")); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := AutoPath(dir), filepath.Join(dir, "BENCH_1.json"); got != want {
+		t.Fatalf("after BENCH_0: %q, want %q", got, want)
+	}
+}
+
+// baselineFile is a plausible committed baseline for compare tests.
+func baselineFile() *File {
+	return &File{Schema: Schema, Cells: []Cell{
+		{Alg: "ours", N: 256, Levels: 1, Workers: 1, NsPerOp: 2e6, AllocsPerOp: 0, MaxRelError: 2e-16, BoundRatio: 0.02},
+		{Alg: "ours", N: 512, Levels: 2, Workers: 0, NsPerOp: 9e6, AllocsPerOp: 0, MaxRelError: 4e-16, BoundRatio: 0.03},
+	}}
+}
+
+func TestCompareCleanRun(t *testing.T) {
+	base := baselineFile()
+	next := baselineFile()
+	// Genuine noise and improvements must not flag.
+	next.Cells[0].NsPerOp *= 1.2   // within the 25% threshold
+	next.Cells[1].NsPerOp *= 0.7   // faster
+	next.Cells[0].MaxRelError *= 3 // different summation order, same ballpark
+	if regs := Compare(base, next, 0); len(regs) != 0 {
+		t.Fatalf("clean run flagged: %v", regs)
+	}
+}
+
+func TestCompareFlagsInjectedRegressions(t *testing.T) {
+	base := baselineFile()
+	next := baselineFile()
+	next.Cells[0].NsPerOp *= 2    // synthetic slowdown
+	next.Cells[1].AllocsPerOp = 3 // warm path started allocating
+	next.Cells[1].MaxRelError = 1e-14
+	regs := Compare(base, next, 0)
+	want := map[string]bool{"ns_per_op": false, "allocs_per_op": false, "max_rel_error": false}
+	for _, r := range regs {
+		if _, ok := want[r.Metric]; !ok {
+			t.Fatalf("unexpected regression %v", r)
+		}
+		want[r.Metric] = true
+	}
+	for m, seen := range want {
+		if !seen {
+			t.Errorf("injected %s regression not flagged (got %v)", m, regs)
+		}
+	}
+}
+
+func TestCompareFlagsBoundEscape(t *testing.T) {
+	base := baselineFile()
+	next := baselineFile()
+	next.Cells[0].BoundRatio = 1.5 // error escaped the predicted bound
+	regs := Compare(base, next, 0)
+	if len(regs) != 1 || regs[0].Metric != "bound_ratio" {
+		t.Fatalf("bound escape: %v", regs)
+	}
+}
+
+func TestCompareFlagsMissingCell(t *testing.T) {
+	base := baselineFile()
+	next := baselineFile()
+	next.Cells = next.Cells[:1]
+	regs := Compare(base, next, 0)
+	if len(regs) != 1 || regs[0].Metric != "missing" {
+		t.Fatalf("missing cell: %v", regs)
+	}
+	if regs[0].Cell != base.Cells[1].Key() {
+		t.Fatalf("missing cell key %q", regs[0].Cell)
+	}
+}
+
+func TestCompareExtraCellsInformational(t *testing.T) {
+	base := baselineFile()
+	next := baselineFile()
+	next.Cells = append(next.Cells, Cell{Alg: "strassen", N: 256, Levels: 1, Workers: 1, NsPerOp: 5e6})
+	if regs := Compare(base, next, 0); len(regs) != 0 {
+		t.Fatalf("new coverage flagged as regression: %v", regs)
+	}
+}

@@ -1,0 +1,71 @@
+package bench
+
+import "fmt"
+
+// DefaultThreshold is the relative ns/op slowdown tolerated as noise
+// before Compare flags a cell. 25% absorbs scheduler and thermal
+// jitter on shared machines while still catching real regressions,
+// which for this codebase historically arrive as 2x+ cliffs (a lost
+// fast path, an alloc on the warm path), not single-digit drift.
+const DefaultThreshold = 0.25
+
+// Regression is one flagged delta between a baseline and a new run.
+type Regression struct {
+	Cell   string  `json:"cell"`
+	Metric string  `json:"metric"`
+	Old    float64 `json:"old"`
+	New    float64 `json:"new"`
+}
+
+func (r Regression) String() string {
+	if r.Metric == "missing" {
+		return fmt.Sprintf("%s: cell missing from new run", r.Cell)
+	}
+	return fmt.Sprintf("%s: %s %g -> %g", r.Cell, r.Metric, r.Old, r.New)
+}
+
+// Compare flags cells of next that regressed against base:
+//
+//   - ns_per_op grew beyond the noise threshold (relative),
+//   - allocs_per_op grew by a whole allocation or more (the warm path
+//     is a zero-alloc guarantee, so any growth is structural),
+//   - max_rel_error grew past 4x the baseline (accuracy is
+//     deterministic for a fixed seed; 4x tolerates a different
+//     summation order, not a different algorithm),
+//   - bound_ratio at or above 1 (measured error escaped the predicted
+//     Theorem III.8 bound — always a finding, regardless of baseline),
+//   - a baseline cell with no counterpart in the new run.
+//
+// Cells present only in next are informational, not regressions.
+// threshold <= 0 selects DefaultThreshold.
+func Compare(base, next *File, threshold float64) []Regression {
+	if threshold <= 0 {
+		threshold = DefaultThreshold
+	}
+	newCells := make(map[string]Cell, len(next.Cells))
+	for _, c := range next.Cells {
+		newCells[c.Key()] = c
+	}
+	var regs []Regression
+	for _, old := range base.Cells {
+		key := old.Key()
+		c, ok := newCells[key]
+		if !ok {
+			regs = append(regs, Regression{Cell: key, Metric: "missing"})
+			continue
+		}
+		if c.NsPerOp > old.NsPerOp*(1+threshold) {
+			regs = append(regs, Regression{key, "ns_per_op", old.NsPerOp, c.NsPerOp})
+		}
+		if c.AllocsPerOp > old.AllocsPerOp+0.5 {
+			regs = append(regs, Regression{key, "allocs_per_op", old.AllocsPerOp, c.AllocsPerOp})
+		}
+		if old.MaxRelError > 0 && c.MaxRelError > old.MaxRelError*4 {
+			regs = append(regs, Regression{key, "max_rel_error", old.MaxRelError, c.MaxRelError})
+		}
+		if c.BoundRatio >= 1 {
+			regs = append(regs, Regression{key, "bound_ratio", old.BoundRatio, c.BoundRatio})
+		}
+	}
+	return regs
+}

@@ -44,6 +44,17 @@ type Options struct {
 	// execution (see internal/obs). nil keeps the warm MultiplyInto
 	// path allocation-free and costs a handful of branches.
 	Recorder obs.Recorder
+	// ErrorSampleEvery enables sampled numerical-accuracy telemetry:
+	// when positive and Recorder implements obs.ErrorSampler, every Nth
+	// execution of each plan (the 1st, N+1st, ...) is re-run through the
+	// quad-precision classical reference (internal/dd) and the measured
+	// relative error ‖Ĉ−C_ref‖/(‖A‖‖B‖), together with the plan's
+	// predicted Theorem III.8 bound f(K,L)·ε, is reported via
+	// ErrorSample. Sampled executions cost one extra quad-precision
+	// classical product (and allocate); the other N−1 executions pay one
+	// atomic increment and keep the warm-path guarantees. 0 disables
+	// sampling.
+	ErrorSampleEvery int
 }
 
 // AutoLevels is the Levels value requesting automatic selection.

@@ -17,6 +17,7 @@ import (
 	"abmm/internal/algos"
 	"abmm/internal/basis"
 	"abmm/internal/bilinear"
+	"abmm/internal/dd"
 	"abmm/internal/matrix"
 	"abmm/internal/obs"
 	"abmm/internal/pool"
@@ -67,6 +68,15 @@ type Plan struct {
 	rec  obs.Recorder
 	info obs.MulInfo
 
+	// Sampled accuracy telemetry (Options.ErrorSampleEvery): every
+	// sampleEvery-th execution re-multiplies through the quad-precision
+	// reference and reports the measured relative error against
+	// errBound, the plan's precompiled Theorem III.8 bound f(K,L)·ε.
+	sampler     obs.ErrorSampler
+	sampleEvery int64
+	sampleTick  atomic.Int64
+	errBound    float64
+
 	arenas sync.Pool // of *pool.Arena
 	bytes  atomic.Int64
 }
@@ -101,6 +111,12 @@ func NewPlan(alg *algos.Algorithm, opt Options, m, k, n int) *Plan {
 		workers: w,
 		bopt:    bilinear.Options{Workers: w, TaskParallel: opt.TaskParallel, Direct: opt.Direct, Recorder: opt.Recorder},
 		rec:     opt.Recorder,
+	}
+	if opt.ErrorSampleEvery > 0 {
+		if es, ok := opt.Recorder.(obs.ErrorSampler); ok {
+			p.sampler = es
+			p.sampleEvery = int64(opt.ErrorSampleEvery)
+		}
 	}
 	p.arenas.New = func() any { return pool.NewArena() }
 	if levels == 0 {
@@ -160,6 +176,11 @@ func (p *Plan) compileInfo() {
 		ClassicalFlops: 2 * m * k * n,
 		AlgFlops:       stability.ArithmeticCost(p.alg, p.pm, p.pk, p.pn, p.levels).Total(),
 	}
+	// The depth-aware Theorem III.8 bound of the compiled recursion
+	// (valid at levels 0 too, where it reduces to the classical
+	// max-norm bound), evaluated at the padded inner dimension and
+	// scaled by ε = 2⁻⁵³: ‖Ĉ−C‖ ≤ errBound·‖A‖‖B‖ + O(ε²).
+	p.errBound = stability.ErrorBoundKL(p.alg, float64(p.pk), p.levels) * 0x1p-53
 }
 
 // Key returns the operand shape the plan was compiled for.
@@ -203,6 +224,7 @@ func (p *Plan) MultiplyInto(dst, a, b *matrix.Matrix) {
 		matrix.MulInto(dst, a, b, w)
 		ps.End()
 		ms.End()
+		p.maybeSampleError(dst, a, b)
 		return
 	}
 	s := p.alg.Spec
@@ -307,6 +329,30 @@ func (p *Plan) MultiplyInto(dst, a, b *matrix.Matrix) {
 		})
 	}
 	ms.End()
+	p.maybeSampleError(dst, a, b)
+}
+
+// maybeSampleError implements the Options.ErrorSampleEvery policy:
+// every sampleEvery-th execution of this plan (the first included, so
+// even a single call yields one sample) is re-run through the
+// quad-precision classical reference and the measured relative error
+// ‖dst−C_ref‖/(‖A‖‖B‖) in max norms is reported together with the
+// plan's predicted bound. Off the sampled path this costs one atomic
+// increment; on it, one dd.ReferenceProduct (which allocates — the
+// zero-alloc warm guarantee holds only for unsampled executions).
+func (p *Plan) maybeSampleError(dst, a, b *matrix.Matrix) {
+	if p.sampleEvery <= 0 {
+		return
+	}
+	if (p.sampleTick.Add(1)-1)%p.sampleEvery != 0 {
+		return
+	}
+	ref := dd.ReferenceProduct(a, b, p.workers)
+	measured := matrix.MaxAbsDiff(dst, ref)
+	if denom := a.MaxNorm() * b.MaxNorm(); denom > 0 {
+		measured /= denom
+	}
+	p.sampler.ErrorSample(measured, p.errBound)
 }
 
 // Multiply is the allocating convenience form of MultiplyInto.

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"expvar"
 	"fmt"
+	"math"
 	"strings"
 	"sync/atomic"
 	"time"
@@ -33,11 +34,40 @@ type Collector struct {
 	arenaHighWater atomic.Int64 // max HighWaterBytes seen across releases
 	arenaRequested atomic.Int64 // sum
 	arenaReused    atomic.Int64 // sum
+
+	// Distribution-level telemetry: per-multiply wall time and per-phase
+	// durations in nanoseconds, per-release requested arena bytes, and
+	// the sampled-accuracy histograms (measured relative error and
+	// measured/bound ratio, both stored atto-scaled; see errAttos).
+	mulDur   Histogram
+	phaseDur [NumPhases]Histogram
+	arenaReq Histogram
+
+	errSamples  atomic.Int64
+	errMeasured Histogram
+	errRatio    Histogram
 }
 
 type phaseAgg struct {
 	count atomic.Int64
 	nanos atomic.Int64
+}
+
+// errAttoScale is the fixed-point scale for the error histograms:
+// relative errors and measured/bound ratios are dimensionless values
+// ≪ 1, recorded in attos (1e-18) so the int64 histogram resolves them.
+// Values above ~9.2 (absurd for a correct multiply) clamp to MaxInt64.
+const errAttoScale = 1e18
+
+func errAttos(v float64) int64 {
+	if v <= 0 {
+		return 0
+	}
+	a := v * errAttoScale
+	if a >= math.MaxInt64 {
+		return math.MaxInt64
+	}
+	return int64(a)
 }
 
 // NewCollector returns an empty Collector.
@@ -61,6 +91,7 @@ func (c *Collector) PhaseDone(p Phase, d time.Duration) {
 	}
 	c.phases[p].count.Add(1)
 	c.phases[p].nanos.Add(int64(d))
+	c.phaseDur[p].Observe(int64(d))
 }
 
 // MulDone implements Recorder.
@@ -73,6 +104,22 @@ func (c *Collector) MulDone(info MulInfo, total time.Duration) {
 	c.classicalFlops.Add(info.ClassicalFlops)
 	c.algFlops.Add(info.AlgFlops)
 	atomicMax(&c.maxLevels, int64(info.Levels))
+	c.mulDur.Observe(int64(total))
+}
+
+// ErrorSample implements ErrorSampler: one sampled accuracy
+// measurement, as the measured relative error against the
+// quad-precision reference and the predicted Theorem III.8 bound the
+// execution was compiled with.
+func (c *Collector) ErrorSample(measured, bound float64) {
+	if c == nil {
+		return
+	}
+	c.errSamples.Add(1)
+	c.errMeasured.Observe(errAttos(measured))
+	if bound > 0 {
+		c.errRatio.Observe(errAttos(measured / bound))
+	}
 }
 
 // TaskSpawn implements Recorder.
@@ -97,9 +144,14 @@ func (c *Collector) ArenaRelease(u ArenaUsage) {
 	atomicMax(&c.arenaHighWater, u.HighWaterBytes)
 	c.arenaRequested.Add(u.RequestedBytes)
 	c.arenaReused.Add(u.ReusedBytes)
+	c.arenaReq.Observe(u.RequestedBytes)
 }
 
-// Reset clears every counter (pprof-label preference survives).
+// Reset clears every counter, histogram, and error-sampling aggregate,
+// starting a fresh observation window (pprof-label preference
+// survives). Long-running processes that serve /metrics can Reset
+// between scrapes to report windowed rather than lifetime
+// distributions; recording may continue concurrently.
 func (c *Collector) Reset() {
 	if c == nil {
 		return
@@ -112,6 +164,7 @@ func (c *Collector) Reset() {
 	for i := range c.phases {
 		c.phases[i].count.Store(0)
 		c.phases[i].nanos.Store(0)
+		c.phaseDur[i].Reset()
 	}
 	c.tasksSpawned.Store(0)
 	c.tasksInline.Store(0)
@@ -120,6 +173,11 @@ func (c *Collector) Reset() {
 	c.arenaHighWater.Store(0)
 	c.arenaRequested.Store(0)
 	c.arenaReused.Store(0)
+	c.mulDur.Reset()
+	c.arenaReq.Reset()
+	c.errSamples.Store(0)
+	c.errMeasured.Reset()
+	c.errRatio.Reset()
 }
 
 func atomicMax(a *atomic.Int64, v int64) {
@@ -139,6 +197,22 @@ type PhaseStats struct {
 	// Share is the phase's fraction of total multiplication wall time;
 	// the shares of a single-threaded pipeline sum to ~1.
 	Share float64 `json:"share"`
+	// Per-span duration quantiles in seconds (histogram-interpolated).
+	P50 float64 `json:"p50"`
+	P95 float64 `json:"p95"`
+	P99 float64 `json:"p99"`
+}
+
+// ErrorSampleStats aggregates the sampled accuracy telemetry in a
+// Snapshot: how many multiplications were re-run through the
+// quad-precision reference, the distribution of measured relative
+// errors, and the distribution of measured/bound ratios against the
+// predicted Theorem III.8 bound (a ratio ≥ 1 means the measured error
+// reached the theoretical bound — worth alarming on).
+type ErrorSampleStats struct {
+	Samples    int64     `json:"samples"`
+	Measured   HistStats `json:"measured"`
+	BoundRatio HistStats `json:"bound_ratio"`
 }
 
 // ArenaStats is the workspace-arena aggregate in a Snapshot.
@@ -170,6 +244,11 @@ type Snapshot struct {
 	TasksSpawned    int64        `json:"tasks_spawned"`
 	TasksInline     int64        `json:"tasks_inline"`
 	Arena           ArenaStats   `json:"arena"`
+	// MulDuration is the per-multiplication wall-time distribution in
+	// seconds; ArenaRequest the per-release requested scratch bytes.
+	MulDuration  HistStats        `json:"mul_duration"`
+	ArenaRequest HistStats        `json:"arena_request_bytes"`
+	Errors       ErrorSampleStats `json:"error_sampling"`
 }
 
 // Snapshot returns a consistent-enough copy for reporting: counters are
@@ -201,7 +280,20 @@ func (c *Collector) Snapshot() Snapshot {
 		if nanos > 0 {
 			s.Phases[i].Share = float64(pn) / float64(nanos)
 		}
+		ph := c.phaseDur[i].Snapshot()
+		s.Phases[i].P50 = ph.Quantile(0.50) / 1e9
+		s.Phases[i].P95 = ph.Quantile(0.95) / 1e9
+		s.Phases[i].P99 = ph.Quantile(0.99) / 1e9
 	}
+	md := c.mulDur.Snapshot()
+	s.MulDuration = md.Stats(1e-9)
+	aq := c.arenaReq.Snapshot()
+	s.ArenaRequest = aq.Stats(1)
+	s.Errors.Samples = c.errSamples.Load()
+	em := c.errMeasured.Snapshot()
+	s.Errors.Measured = em.Stats(1 / errAttoScale)
+	er := c.errRatio.Snapshot()
+	s.Errors.BoundRatio = er.Stats(1 / errAttoScale)
 	s.TasksSpawned = c.tasksSpawned.Load()
 	s.TasksInline = c.tasksInline.Load()
 	s.Arena = ArenaStats{
@@ -241,17 +333,25 @@ func Publish(name string, c *Collector) {
 // Report renders the snapshot as an aligned human-readable block.
 func (s Snapshot) Report() string {
 	var b strings.Builder
+	dur := func(sec float64) time.Duration { return time.Duration(sec * 1e9).Round(time.Microsecond) }
 	fmt.Fprintf(&b, "%d multiplication(s), levels ≤ %d, wall %.3fs\n", s.Mults, s.Levels, s.Seconds)
-	fmt.Fprintf(&b, "  %-10s %8s %12s %7s\n", "phase", "count", "time", "share")
+	fmt.Fprintf(&b, "  %-10s %8s %12s %7s %12s %12s\n", "phase", "count", "time", "share", "p50", "p99")
 	for _, p := range s.Phases {
-		fmt.Fprintf(&b, "  %-10s %8d %12s %6.1f%%\n",
-			p.Name, p.Count, time.Duration(p.Seconds*1e9).Round(time.Microsecond), 100*p.Share)
+		fmt.Fprintf(&b, "  %-10s %8d %12s %6.1f%% %12s %12s\n",
+			p.Name, p.Count, dur(p.Seconds), 100*p.Share, dur(p.P50), dur(p.P99))
 	}
+	fmt.Fprintf(&b, "  latency: p50 %s, p95 %s, p99 %s, max %s\n",
+		dur(s.MulDuration.P50), dur(s.MulDuration.P95), dur(s.MulDuration.P99), dur(s.MulDuration.Max))
 	fmt.Fprintf(&b, "  throughput: %.2f classical-equivalent GFLOP/s, %.2f effective GFLOP/s\n",
 		s.ClassicalGFLOPS, s.EffectiveGFLOPS)
 	fmt.Fprintf(&b, "  tasks: %d spawned, %d inline\n", s.TasksSpawned, s.TasksInline)
 	fmt.Fprintf(&b, "  arena: %.1f MiB allocated, %.1f MiB high-water, %.1f%% scratch reuse (%d release(s))",
 		float64(s.Arena.AllocBytes)/(1<<20), float64(s.Arena.HighWaterBytes)/(1<<20),
 		100*s.Arena.ReuseRatio, s.Arena.Releases)
+	if s.Errors.Samples > 0 {
+		fmt.Fprintf(&b, "\n  error sampling: %d sample(s), measured rel err p50 %.2e max %.2e, measured/bound p99 %.2e max %.2e",
+			s.Errors.Samples, s.Errors.Measured.P50, s.Errors.Measured.Max,
+			s.Errors.BoundRatio.P99, s.Errors.BoundRatio.Max)
+	}
 	return b.String()
 }

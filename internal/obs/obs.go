@@ -132,6 +132,19 @@ type PprofLabeler interface {
 	PprofLabels() bool
 }
 
+// ErrorSampler is an optional Recorder refinement for sampled
+// numerical-accuracy telemetry. When the execution layer re-runs a
+// multiplication through the quad-precision classical reference (see
+// core.Options.ErrorSampleEvery), it reports the measured relative
+// error ‖Ĉ−C_ref‖/(‖A‖‖B‖) in max norms together with the predicted
+// Theorem III.8 bound factor f(K,L)·ε the plan was compiled with, so a
+// collector can track the measured-vs-bound ratio continuously.
+// Implementations must be safe for concurrent use and tolerate nil
+// receivers, like Recorder.
+type ErrorSampler interface {
+	ErrorSample(measured, bound float64)
+}
+
 // MulSpan tracks one multiplication. It is a value type: copying is
 // cheap and the zero value (from StartMul with a nil recorder and
 // tracing off) makes every method a no-op.

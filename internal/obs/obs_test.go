@@ -7,6 +7,8 @@ import (
 	"flag"
 	"os"
 	"path/filepath"
+	"reflect"
+	"sort"
 	"sync"
 	"testing"
 	"time"
@@ -41,6 +43,7 @@ func TestNilSafety(t *testing.T) {
 	c.MulDone(MulInfo{}, time.Second)
 	c.TaskSpawn(true)
 	c.ArenaRelease(ArenaUsage{})
+	c.ErrorSample(1e-15, 1e-12)
 	c.Reset()
 	c.SetPprofLabels(true)
 	if c.PprofLabels() {
@@ -157,6 +160,7 @@ func goldenCollector() *Collector {
 	c.TaskSpawn(true)
 	c.TaskSpawn(false)
 	c.ArenaRelease(ArenaUsage{AllocBytes: 1 << 25, HighWaterBytes: 3 << 23, RequestedBytes: 1 << 26, ReusedBytes: 3 << 24})
+	c.ErrorSample(0x1p-48, 0x1p-40) // measured 2^-48 against bound 2^-40: ratio 2^-8
 	return c
 }
 
@@ -209,6 +213,10 @@ func TestReportContents(t *testing.T) {
 	}
 }
 
+// TestPublishExpvar pins the expvar surface: the published string must
+// be valid JSON whose key set matches the golden Snapshot schema
+// exactly (so /debug/vars and the snapshot golden can never drift
+// apart), and re-registration must be a no-op rather than a panic.
 func TestPublishExpvar(t *testing.T) {
 	c := goldenCollector()
 	Publish("abmm_test_collector", c)
@@ -223,5 +231,103 @@ func TestPublishExpvar(t *testing.T) {
 	}
 	if s.Mults != 1 || len(s.Phases) != NumPhases {
 		t.Errorf("round-tripped snapshot: %+v", s)
+	}
+	if s.Errors.Samples != 1 || s.MulDuration.Count != 1 {
+		t.Errorf("expvar snapshot lost histogram/error fields: %+v", s)
+	}
+
+	// Key-set comparison against the golden schema file.
+	var published, golden map[string]any
+	if err := json.Unmarshal([]byte(v.String()), &published); err != nil {
+		t.Fatal(err)
+	}
+	g, err := os.ReadFile(filepath.Join("testdata", "snapshot.golden.json"))
+	if err != nil {
+		t.Fatalf("%v (run with -update to regenerate)", err)
+	}
+	if err := json.Unmarshal(g, &golden); err != nil {
+		t.Fatalf("golden snapshot is not valid JSON: %v", err)
+	}
+	if got, want := jsonKeys(published, ""), jsonKeys(golden, ""); !reflect.DeepEqual(got, want) {
+		t.Errorf("expvar JSON keys drifted from golden schema:\ngot:  %v\nwant: %v", got, want)
+	}
+}
+
+// jsonKeys flattens a decoded JSON object into its sorted key paths
+// (recursing into objects and the first element of arrays).
+func jsonKeys(v any, prefix string) []string {
+	var keys []string
+	switch x := v.(type) {
+	case map[string]any:
+		for k, sub := range x {
+			p := k
+			if prefix != "" {
+				p = prefix + "." + k
+			}
+			keys = append(keys, p)
+			keys = append(keys, jsonKeys(sub, p)...)
+		}
+	case []any:
+		if len(x) > 0 {
+			keys = append(keys, jsonKeys(x[0], prefix+"[]")...)
+		}
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// TestResetWindowConcurrent pins windowed operation for long-running
+// -listen processes: Reset must clear counters, histograms, and
+// error-sampling state to a coherent empty window even while recorders
+// are hammering the collector from other goroutines (run under
+// `go test -race` via the Makefile race gate).
+func TestResetWindowConcurrent(t *testing.T) {
+	c := NewCollector()
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				c.MulDone(MulInfo{Levels: 2, ClassicalFlops: 100, AlgFlops: 90}, 3*time.Millisecond)
+				c.PhaseDone(PhaseBilinear, 2*time.Millisecond)
+				c.ArenaRelease(ArenaUsage{RequestedBytes: 4096, ReusedBytes: 4096})
+				c.ErrorSample(1e-15, 1e-12)
+			}
+		}()
+	}
+	for w := 0; w < 20; w++ {
+		s := c.Snapshot()
+		if s.Mults < 0 || s.MulDuration.Count < 0 || s.Errors.Samples < 0 {
+			t.Fatalf("window %d: negative counts: %+v", w, s)
+		}
+		if s.MulDuration.Count > 0 && s.MulDuration.Max <= 0 {
+			t.Fatalf("window %d: populated histogram without max: %+v", w, s)
+		}
+		c.Reset()
+	}
+	close(stop)
+	wg.Wait()
+
+	// With recorders quiesced, one more reset must leave a fully empty
+	// window: totals, distributions, and sampling state all zero.
+	c.Reset()
+	s := c.Snapshot()
+	if s.Mults != 0 || s.Seconds != 0 || s.TasksSpawned != 0 ||
+		s.MulDuration.Count != 0 || s.MulDuration.Max != 0 ||
+		s.ArenaRequest.Count != 0 || s.Errors.Samples != 0 ||
+		s.Errors.Measured.Count != 0 || s.Errors.BoundRatio.Max != 0 {
+		t.Fatalf("reset left window state: %+v", s)
+	}
+	for _, p := range s.Phases {
+		if p.Count != 0 || p.P99 != 0 {
+			t.Fatalf("reset left phase state: %+v", p)
+		}
 	}
 }

@@ -136,7 +136,9 @@ func TestMultiplyIntoZeroAllocWarm(t *testing.T) {
 
 // TestMultiplyIntoZeroAllocRecorder extends the warm-path guarantee to
 // observability: attaching a live Collector must not cost allocations —
-// spans are value types and the collector aggregates with atomics.
+// spans are value types and the collector aggregates with atomics,
+// including the log-bucketed latency/phase/arena histograms every
+// recorded execution feeds.
 func TestMultiplyIntoZeroAllocRecorder(t *testing.T) {
 	if raceEnabled {
 		t.Skip("allocation counts differ under the race detector")
@@ -155,8 +157,47 @@ func TestMultiplyIntoZeroAllocRecorder(t *testing.T) {
 	}
 	// The snapshot spans the cold compile too, so lifetime scratch
 	// reuse is slightly below 1; the warm majority dominates.
-	if s := rec.Snapshot(); s.Mults < 12 || s.Arena.ReuseRatio < 0.9 {
+	s := rec.Snapshot()
+	if s.Mults < 12 || s.Arena.ReuseRatio < 0.9 {
 		t.Fatalf("collector missed warm runs: %+v", s)
+	}
+	// Histogram recording happened on that same zero-alloc path: the
+	// latency and arena-request distributions carry every execution and
+	// report coherent quantiles.
+	if s.MulDuration.Count != s.Mults || !(s.MulDuration.P50 > 0) ||
+		s.MulDuration.P50 > s.MulDuration.P99 || s.MulDuration.P99 > s.MulDuration.Max {
+		t.Fatalf("latency histogram incoherent: %+v", s.MulDuration)
+	}
+	if s.ArenaRequest.Count != s.Arena.Releases || !(s.ArenaRequest.Max > 0) {
+		t.Fatalf("arena histogram incoherent: %+v", s.ArenaRequest)
+	}
+	for _, p := range s.Phases {
+		if p.Count > 0 && (!(p.P50 > 0) || p.P50 > p.P99) {
+			t.Fatalf("phase %s histogram incoherent: %+v", p.Name, p)
+		}
+	}
+}
+
+// TestErrorSamplingThroughFacade drives Options.ErrorSampleEvery
+// through the public API: sampled multiplications report a measured
+// relative error that sits inside the predicted stability bound.
+func TestErrorSamplingThroughFacade(t *testing.T) {
+	alg, _ := abmm.Lookup("ours")
+	const n = 96
+	a, b, dst := abmm.NewMatrix(n, n), abmm.NewMatrix(n, n), abmm.NewMatrix(n, n)
+	a.FillUniform(abmm.Rand(3), -1, 1)
+	b.FillUniform(abmm.Rand(4), -1, 1)
+	rec := abmm.NewCollector()
+	mu := abmm.NewMultiplier(alg, abmm.Options{Levels: 2, Workers: 1, Recorder: rec, ErrorSampleEvery: 2})
+	for i := 0; i < 4; i++ {
+		mu.MultiplyInto(dst, a, b)
+	}
+	s := rec.Snapshot()
+	if s.Errors.Samples != 2 {
+		t.Fatalf("4 executions at every-2: %d samples, want 2", s.Errors.Samples)
+	}
+	if r := s.Errors.BoundRatio.Max; !(r > 0) || r >= 1 {
+		t.Fatalf("measured/bound ratio %g, want in (0, 1)", r)
 	}
 }
 
