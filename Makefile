@@ -1,10 +1,11 @@
-# Tier-1 gate: `make` (= build + test) must stay green on every change.
+# Tier-1 gate: `make` (= build + vet + test + lint) must stay green on
+# every change.
 
 GO ?= go
 
-.PHONY: all build test race vet bench bench-json bench-compare trace-demo clean
+.PHONY: all build test race vet lint bench bench-json bench-compare trace-demo clean
 
-all: build vet test
+all: build vet test lint
 
 build:
 	$(GO) build ./...
@@ -13,14 +14,23 @@ test:
 	$(GO) test ./...
 
 # Race-detector pass at small sizes: the shared-Multiplier concurrency
-# tests plus the core/bilinear engines that execute under it, and the
-# observability collector's concurrent span aggregation.
+# tests plus the core/bilinear engines that execute under it, the
+# observability collector's concurrent span aggregation, and the
+# analyzer suite's own fixture tests (-short skips its slow repo-wide
+# pass, which `make lint` runs directly).
 race:
 	$(GO) test -race -short -run 'TestMultiplierConcurrent|TestMultiplyIntoPadded|TestMultiplierStats' .
-	$(GO) test -race -short ./internal/core/... ./internal/bilinear/... ./internal/basis/... ./internal/pool/... ./internal/obs/...
+	$(GO) test -race -short ./internal/core/... ./internal/bilinear/... ./internal/basis/... ./internal/pool/... ./internal/obs/... ./internal/lint/...
 
 vet:
 	$(GO) vet ./...
+
+# Repository-specific static analysis (see DESIGN.md §2c): type-checks
+# every package and enforces the hotpath-alloc, atomic-consistency,
+# float-discipline, rat-aliasing, and import-allowlist invariants.
+# Nonzero exit on any finding.
+lint:
+	$(GO) run ./cmd/abmmvet ./...
 
 # Allocation-tracking benchmarks for the plan/execute split and the
 # observability overhead guard (0 allocs/op with a recorder attached).

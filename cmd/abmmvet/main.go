@@ -1,0 +1,44 @@
+// Command abmmvet runs the repository's static-analysis suite
+// (internal/lint) over the module: hotpath-alloc, atomic-consistency,
+// float-discipline, rat-aliasing, and import-allowlist.
+//
+// Usage:
+//
+//	abmmvet [dir | ./...]
+//
+// The argument selects the module root (default "."); the go-style
+// "./..." spelling is accepted and means the same thing — the suite
+// always analyzes the whole module, tests included. Exit status: 0
+// clean, 1 findings, 2 the module failed to load or type-check.
+package main
+
+import (
+	"fmt"
+	"os"
+	"strings"
+
+	"abmm/internal/lint"
+)
+
+func main() {
+	dir := "."
+	if len(os.Args) > 1 {
+		dir = strings.TrimSuffix(os.Args[1], "...")
+		dir = strings.TrimSuffix(dir, "/")
+		if dir == "" {
+			dir = "."
+		}
+	}
+	findings, err := lint.Run(lint.DefaultConfig(dir))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "abmmvet:", err)
+		os.Exit(2)
+	}
+	for _, f := range findings {
+		fmt.Println(f)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "abmmvet: %d finding(s)\n", len(findings))
+		os.Exit(1)
+	}
+}

@@ -121,6 +121,7 @@ func (t *Transform) Apply(in *matrix.Matrix, level, workers int) *matrix.Matrix 
 // ApplyInto computes φ^level on src, writing the result into dst (which
 // must have D₂^level base blocks of src's base shape) and drawing all
 // scratch from al. dst may be dirty scratch; every element is written.
+//abmm:hotpath
 func (t *Transform) ApplyInto(dst, src *matrix.Matrix, level, workers int, al pool.Allocator) {
 	d1l := ipow(t.D1, level)
 	if src.Rows%d1l != 0 {
@@ -165,10 +166,16 @@ func (t *Transform) apply(dst, src *matrix.Matrix, level, workers int, al pool.A
 		al.PutHdr(dv)
 	} else {
 		parallel.For(t.D1, workers, 1, func(i int) {
-			t.apply(tmp[i], src.View(i*sh, 0, sh, src.Cols), level-1, 1, al)
+			sv := al.Hdr()
+			src.ViewInto(sv, i*sh, 0, sh, src.Cols)
+			t.apply(tmp[i], sv, level-1, 1, al)
+			al.PutHdr(sv)
 		})
 		parallel.For(t.D2, workers, 1, func(j int) {
-			matrix.LinearCombine(dst.View(j*dh, 0, dh, dst.Cols), t.cols[j], tmp, 1)
+			dv := al.Hdr()
+			dst.ViewInto(dv, j*dh, 0, dh, dst.Cols)
+			matrix.LinearCombine(dv, t.cols[j], tmp, 1)
+			al.PutHdr(dv)
 		})
 	}
 	for _, h := range tmp {

@@ -63,6 +63,7 @@ func (t *Transform) ApplyInPlace(v *matrix.Matrix, level, workers int) bool {
 
 // ApplyInPlaceFrom is ApplyInPlace with the recursion's view headers
 // drawn from al, so warm-arena executions allocate nothing.
+//abmm:hotpath
 func (t *Transform) ApplyInPlaceFrom(v *matrix.Matrix, level, workers int, al pool.Allocator) bool {
 	if t.D1 != t.D2 {
 		return false

@@ -1,6 +1,9 @@
 package bench
 
-import "fmt"
+import (
+	"fmt"
+	"math"
+)
 
 // DefaultThreshold is the relative ns/op slowdown tolerated as noise
 // before Compare flags a cell. 25% absorbs scheduler and thermal
@@ -36,6 +39,13 @@ func (r Regression) String() string {
 //     Theorem III.8 bound — always a finding, regardless of baseline),
 //   - a baseline cell with no counterpart in the new run.
 //
+// A NaN or infinite measured value in the new run is always a
+// regression: comparisons against NaN are false, so without the
+// explicit check a NaN candidate would sail past every threshold. A
+// baseline cell with ns_per_op <= 0 (a corrupt or placeholder file)
+// cannot anchor a relative comparison and is skipped for the timing
+// rule rather than flagging every nonzero candidate.
+//
 // Cells present only in next are informational, not regressions.
 // threshold <= 0 selects DefaultThreshold.
 func Compare(base, next *File, threshold float64) []Regression {
@@ -54,18 +64,26 @@ func Compare(base, next *File, threshold float64) []Regression {
 			regs = append(regs, Regression{Cell: key, Metric: "missing"})
 			continue
 		}
-		if c.NsPerOp > old.NsPerOp*(1+threshold) {
+		if !finite(c.NsPerOp) ||
+			old.NsPerOp > 0 && c.NsPerOp > old.NsPerOp*(1+threshold) {
 			regs = append(regs, Regression{key, "ns_per_op", old.NsPerOp, c.NsPerOp})
 		}
-		if c.AllocsPerOp > old.AllocsPerOp+0.5 {
+		if !finite(c.AllocsPerOp) || c.AllocsPerOp > old.AllocsPerOp+0.5 {
 			regs = append(regs, Regression{key, "allocs_per_op", old.AllocsPerOp, c.AllocsPerOp})
 		}
-		if old.MaxRelError > 0 && c.MaxRelError > old.MaxRelError*4 {
+		if !finite(c.MaxRelError) ||
+			old.MaxRelError > 0 && c.MaxRelError > old.MaxRelError*4 {
 			regs = append(regs, Regression{key, "max_rel_error", old.MaxRelError, c.MaxRelError})
 		}
-		if c.BoundRatio >= 1 {
+		if math.IsNaN(c.BoundRatio) || c.BoundRatio >= 1 {
 			regs = append(regs, Regression{key, "bound_ratio", old.BoundRatio, c.BoundRatio})
 		}
 	}
 	return regs
+}
+
+// finite reports whether a measured value is a usable number: not NaN
+// and not ±Inf.
+func finite(v float64) bool {
+	return !math.IsNaN(v) && !math.IsInf(v, 0)
 }

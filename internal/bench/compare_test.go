@@ -1,0 +1,91 @@
+package bench
+
+import (
+	"math"
+	"testing"
+)
+
+// edgeCell builds a healthy single-cell baseline for the edge-case
+// tests; each test mutates a copy of it.
+func edgeCell() Cell {
+	return Cell{
+		Alg: "ours", N: 64, Levels: 1, Workers: 1,
+		NsPerOp: 1e6, AllocsPerOp: 0, MaxRelError: 1e-15, BoundRatio: 0.1,
+	}
+}
+
+func edgeFile(c Cell) *File {
+	return &File{Schema: Schema, Cells: []Cell{c}}
+}
+
+// edgeMetrics collects the flagged metric names.
+func edgeMetrics(regs []Regression) map[string]bool {
+	out := make(map[string]bool)
+	for _, r := range regs {
+		out[r.Metric] = true
+	}
+	return out
+}
+
+// TestCompareNaNAndInfMeasurements pins the NaN-escape fix: every
+// comparison against NaN is false, so without an explicit finiteness
+// check a NaN or ±Inf candidate measurement would sail past the
+// thresholds and read as healthy.
+func TestCompareNaNAndInfMeasurements(t *testing.T) {
+	base := edgeFile(edgeCell())
+
+	nan := edgeCell()
+	nan.MaxRelError = math.NaN()
+	if got := edgeMetrics(Compare(base, edgeFile(nan), 0)); !got["max_rel_error"] {
+		t.Errorf("NaN max_rel_error escaped: flagged %v", got)
+	}
+
+	inf := edgeCell()
+	inf.MaxRelError = math.Inf(1)
+	if got := edgeMetrics(Compare(base, edgeFile(inf), 0)); !got["max_rel_error"] {
+		t.Errorf("+Inf max_rel_error escaped: flagged %v", got)
+	}
+
+	nanRatio := edgeCell()
+	nanRatio.BoundRatio = math.NaN()
+	if got := edgeMetrics(Compare(base, edgeFile(nanRatio), 0)); !got["bound_ratio"] {
+		t.Errorf("NaN bound_ratio escaped the >= 1 comparison: flagged %v", got)
+	}
+
+	nanNs := edgeCell()
+	nanNs.NsPerOp = math.NaN()
+	if got := edgeMetrics(Compare(base, edgeFile(nanNs), 0)); !got["ns_per_op"] {
+		t.Errorf("NaN ns_per_op escaped: flagged %v", got)
+	}
+
+	nanAllocs := edgeCell()
+	nanAllocs.AllocsPerOp = math.NaN()
+	if got := edgeMetrics(Compare(base, edgeFile(nanAllocs), 0)); !got["allocs_per_op"] {
+		t.Errorf("NaN allocs_per_op escaped: flagged %v", got)
+	}
+
+	// The relative error rule is disabled for a zero-error baseline;
+	// a NaN candidate must still be caught by the finiteness check.
+	zeroBase := edgeCell()
+	zeroBase.MaxRelError = 0
+	if got := edgeMetrics(Compare(edgeFile(zeroBase), edgeFile(nan), 0)); !got["max_rel_error"] {
+		t.Errorf("NaN max_rel_error escaped under zero-error baseline: flagged %v", got)
+	}
+}
+
+// TestCompareZeroNsBaseline pins the zero-baseline fix: a corrupt or
+// placeholder baseline with ns_per_op == 0 cannot anchor a relative
+// comparison, so a healthy candidate must not be flagged against it —
+// but a non-finite candidate still must be.
+func TestCompareZeroNsBaseline(t *testing.T) {
+	zero := edgeCell()
+	zero.NsPerOp = 0
+	if got := edgeMetrics(Compare(edgeFile(zero), edgeFile(edgeCell()), 0)); got["ns_per_op"] {
+		t.Errorf("healthy candidate flagged against zero-ns baseline")
+	}
+	sick := edgeCell()
+	sick.NsPerOp = math.Inf(1)
+	if got := edgeMetrics(Compare(edgeFile(zero), edgeFile(sick), 0)); !got["ns_per_op"] {
+		t.Errorf("+Inf ns_per_op escaped under zero-ns baseline: flagged %v", got)
+	}
+}

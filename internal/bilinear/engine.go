@@ -90,15 +90,25 @@ func (e *Engine) specAt(level int) *Spec {
 	return e.mixed[e.levels-level]
 }
 
-// colsOf returns the encoding columns of a spec. Every spec the engine
-// can encounter is registered at construction, so lookups during
-// execution are read-only and safe under concurrency.
-func (e *Engine) colsOf(s *Spec) *specCols {
-	if c, ok := e.cols[s]; ok {
-		return c
+// register caches the encoding columns of a spec. Registration happens
+// only at construction (NewEngine, ExecMixed), before the engine is
+// shared; colsOf is the read-only execution-time lookup, so concurrent
+// ExecInto calls never write e.cols.
+func (e *Engine) register(s *Spec) {
+	if _, ok := e.cols[s]; ok {
+		return
 	}
-	c := &specCols{u: columns(s.uF), v: columns(s.vF)}
-	e.cols[s] = c
+	e.cols[s] = &specCols{u: columns(s.uF), v: columns(s.vF)}
+}
+
+// colsOf returns the encoding columns of a spec registered at
+// construction. It is read-only and safe under concurrency; an
+// unregistered spec is a construction bug, not a recoverable state.
+func (e *Engine) colsOf(s *Spec) *specCols {
+	c, ok := e.cols[s]
+	if !ok {
+		panic("bilinear: spec not registered with engine at construction")
+	}
 	return c
 }
 
@@ -136,7 +146,7 @@ func NewEngine(s *Spec, opt Options, levels int) *Engine {
 	}
 	e.levels = levels
 	e.cols = make(map[*Spec]*specCols, 1)
-	e.colsOf(s)
+	e.register(s)
 	return e
 }
 
@@ -157,6 +167,7 @@ func columns(m *matrix.Matrix) [][]float64 {
 // performs no heap allocation on the default (scheduled, sequential-
 // kernel) path. c must be fully writable scratch or output — its prior
 // contents are ignored.
+//abmm:hotpath
 func (e *Engine) ExecInto(c, a, b *matrix.Matrix, al pool.Allocator) {
 	s, levels := e.s, e.levels
 	du, dv, dw := ipow(s.DU(), levels), ipow(s.DV(), levels), ipow(s.DW(), levels)
@@ -236,7 +247,12 @@ func (e *Engine) scheduled(c, a, b *matrix.Matrix, level int, al pool.Allocator)
 }
 
 // recurseTasks runs the R product recursions of one scheduled node as
-// limiter-bounded concurrent tasks.
+// limiter-bounded concurrent tasks. The task-parallel schedules are the
+// opt-in, memory-hungry ablation mode: per-product task closures (and
+// the goroutines behind them) allocate by design, so the zero-alloc
+// guarantee covers only the default schedule.
+//
+//abmm:coldpath
 func (e *Engine) recurseTasks(prods, souts, touts []*matrix.Matrix, level int, al pool.Allocator) {
 	var wg sync.WaitGroup
 	n := len(prods)
@@ -270,7 +286,15 @@ func (e *Engine) sequential(c, a, b *matrix.Matrix, level int, al pool.Allocator
 	aGroups := groupsIn(al, a, s.DU())
 	bGroups := groupsIn(al, b, s.DV())
 	cGroups := groupsIn(al, c, s.DW())
-	touched := make([]bool, s.DW())
+	// The touched flags live on the stack: no catalog algorithm has
+	// D_W > 32, and the cold spill keeps exotic specs correct.
+	var touchedBuf [32]bool
+	touched := touchedBuf[:]
+	if s.DW() > len(touchedBuf) {
+		//abmm:allow hotpath-alloc
+		touched = make([]bool, s.DW())
+	}
+	touched = touched[:s.DW()]
 	for r := 0; r < s.R; r++ {
 		matrix.LinearCombine(S, sc.u[r], aGroups, e.kernelWorkers)
 		matrix.LinearCombine(T, sc.v[r], bGroups, e.kernelWorkers)
@@ -304,7 +328,10 @@ func (e *Engine) sequential(c, a, b *matrix.Matrix, level int, al pool.Allocator
 // taskParallel runs the R products of this node as concurrent tasks
 // when the limiter grants slots (running them inline otherwise), then
 // decodes all output groups in parallel. Each task owns its S, T and
-// product buffers.
+// product buffers. Like recurseTasks this is the opt-in task-parallel
+// ablation mode, allocating task closures by design.
+//
+//abmm:coldpath
 func (e *Engine) taskParallel(c, a, b *matrix.Matrix, level int, al pool.Allocator) {
 	s := e.specAt(level)
 	sc := e.colsOf(s)

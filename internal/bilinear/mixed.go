@@ -45,7 +45,7 @@ func ExecMixed(specs []*Spec, a, b *matrix.Matrix, opt Options) *matrix.Matrix {
 		}
 		// Register every spec's coefficient columns up front so colsOf
 		// stays read-only during (possibly task-parallel) execution.
-		e.colsOf(s)
+		e.register(s)
 	}
 	dw := ipow(first.M0*first.N0, levels)
 	c := matrix.New(dw*(a.Rows/du), b.Cols)

@@ -87,8 +87,11 @@ func (mu *Multiplier) Levels(m, k, n int) int {
 }
 
 // Plan returns the compiled plan for an m×k·k×n multiplication,
-// building and caching it on first use.
+// building and caching it on first use. The compile closure below is
+// called only on a cache miss and never escapes get; the capture is
+// cold-start cost, not warm-path cost.
 func (mu *Multiplier) Plan(m, k, n int) *Plan {
+	//abmm:allow hotpath-alloc
 	return mu.cache.get(PlanKey{M: m, K: k, N: n}, func() *Plan {
 		return NewPlan(mu.Alg, mu.Opt, m, k, n)
 	})
@@ -103,6 +106,8 @@ func (mu *Multiplier) Stats() CacheStats { return mu.cache.stats() }
 // a.Rows×b.Cols and must not alias a or b; its prior contents are
 // ignored. After the first call for a shape, repeated calls allocate
 // (almost) nothing: scratch comes from the plan's warm arenas.
+//
+//abmm:hotpath
 func (mu *Multiplier) MultiplyInto(dst, a, b *matrix.Matrix) {
 	if a.Cols != b.Rows {
 		panic(fmt.Sprintf("core: cannot multiply %dx%d by %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))

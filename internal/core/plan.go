@@ -209,6 +209,8 @@ func (p *Plan) release(ar *pool.Arena) {
 // MultiplyInto computes dst = A·B along the compiled plan. dst must be
 // m×n and must not alias a or b; its prior contents are ignored and
 // fully overwritten. Safe for concurrent use.
+//
+//abmm:hotpath
 func (p *Plan) MultiplyInto(dst, a, b *matrix.Matrix) {
 	if a.Rows != p.key.M || a.Cols != p.key.K || b.Rows != p.key.K || b.Cols != p.key.N {
 		panic(fmt.Sprintf("core: plan compiled for %dx%d·%dx%d got %dx%d·%dx%d",
@@ -340,6 +342,8 @@ func (p *Plan) MultiplyInto(dst, a, b *matrix.Matrix) {
 // plan's predicted bound. Off the sampled path this costs one atomic
 // increment; on it, one dd.ReferenceProduct (which allocates — the
 // zero-alloc warm guarantee holds only for unsampled executions).
+//
+//abmm:coldpath
 func (p *Plan) maybeSampleError(dst, a, b *matrix.Matrix) {
 	if p.sampleEvery <= 0 {
 		return
@@ -403,6 +407,10 @@ type planCache struct {
 // is zero.
 const DefaultPlanCache = 32
 
+// get is cache-lookup-or-compile: the hit path is two map/list touches
+// under a mutex, the miss path compiles a plan (allocating freely).
+//
+//abmm:coldpath
 func (pc *planCache) get(key PlanKey, compile func() *Plan) *Plan {
 	pc.mu.Lock()
 	defer pc.mu.Unlock()

@@ -1,0 +1,59 @@
+package dd
+
+import (
+	"math"
+	"math/big"
+	"testing"
+)
+
+// FuzzTwoSumTwoProd cross-checks the error-free transformations
+// against exact big.Float arithmetic: twoSum must satisfy a+b == s+e
+// exactly, and twoProd must satisfy a*b == p+e exactly, for every pair
+// of finite inputs whose results neither overflow nor fall into the
+// subnormal range (where the error term itself is not representable
+// and exactness is not claimed).
+func FuzzTwoSumTwoProd(f *testing.F) {
+	f.Add(0.1, 0.2)
+	f.Add(1.0, 0x1p-53)
+	f.Add(1e300, -1e300)
+	f.Add(3.0, 4.0)
+	f.Add(1e308, 1e308)
+	f.Add(0.0, -0.0)
+	f.Add(math.Pi, math.E)
+	f.Fuzz(func(t *testing.T, a, b float64) {
+		if math.IsNaN(a) || math.IsInf(a, 0) || math.IsNaN(b) || math.IsInf(b, 0) {
+			t.Skip("non-finite input")
+		}
+		exact := func(x float64) *big.Float {
+			return new(big.Float).SetPrec(200).SetFloat64(x)
+		}
+
+		if s, e := twoSum(a, b); !math.IsInf(s, 0) {
+			want := new(big.Float).SetPrec(200).Add(exact(a), exact(b))
+			got := new(big.Float).SetPrec(200).Add(exact(s), exact(e))
+			if want.Cmp(got) != 0 {
+				t.Errorf("twoSum(%g, %g) = (%g, %g): s+e = %s, want a+b = %s",
+					a, b, s, e, got.Text('g', 40), want.Text('g', 40))
+			}
+		}
+
+		// twoProd's exactness claim needs the error term representable:
+		// skip products that overflow or land at the subnormal boundary.
+		if a == 0 || b == 0 {
+			return
+		}
+		if math.Ilogb(a)+math.Ilogb(b) <= -1020 {
+			t.Skip("product near or below the subnormal range")
+		}
+		p, e := twoProd(a, b)
+		if math.IsInf(p, 0) {
+			t.Skip("product overflows")
+		}
+		want := new(big.Float).SetPrec(200).Mul(exact(a), exact(b))
+		got := new(big.Float).SetPrec(200).Add(exact(p), exact(e))
+		if want.Cmp(got) != 0 {
+			t.Errorf("twoProd(%g, %g) = (%g, %g): p+e = %s, want a*b = %s",
+				a, b, p, e, got.Text('g', 40), want.Text('g', 40))
+		}
+	})
+}

@@ -18,6 +18,8 @@ func TestTwoSumExact(t *testing.T) {
 		s, e := twoSum(a, b)
 		// The identity a+b = s+e holds exactly in real arithmetic;
 		// check with big-exponent-safe comparison s = fl(a+b).
+		// twoSum's contract is exact: s must equal fl(a+b) bit-for-bit.
+		//abmm:allow float-discipline
 		return s == a+b && (e == 0 || math.Abs(e) <= math.Abs(s)*0x1p-52+math.SmallestNonzeroFloat64)
 	}
 	if err := quick.Check(f, nil); err != nil {

@@ -1,0 +1,140 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// atomic-consistency: once any code accesses a struct field through
+// sync/atomic, every access must. Two field families are tracked:
+//
+//   - function-style fields: a field whose address is passed to a
+//     sync/atomic function (atomic.AddInt64(&s.n, 1)) anywhere in the
+//     module. Every other appearance of that field — plain reads,
+//     plain writes, even taking its address for non-atomic purposes —
+//     is a finding.
+//
+//   - typed fields: a field declared with one of the atomic.Bool/
+//     Int32/.../Value types. Calling its methods and taking its
+//     address are the only legal uses; copying the value out (which
+//     silently forks the memory location) is a finding. go vet's
+//     copylocks catches whole-struct copies; this catches the field-
+//     level ones.
+//
+// Registration is cross-package and includes test units, so a test
+// that atomically pokes a field makes plain accesses anywhere else in
+// the module findings.
+
+const atomicCheck = "atomic-consistency"
+
+func checkAtomic(p *pass) {
+	// Field registries keyed by declaration position (stable across the
+	// independent type universes of test units).
+	funcStyle := make(map[string]string) // field pos -> field name
+	sanctioned := make(map[ast.Node]bool)
+
+	for _, u := range p.units {
+		info := u.Info
+		for _, f := range u.ScanFiles {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				fn, _ := staticCallee(info, call)
+				if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+					return true
+				}
+				for _, arg := range call.Args {
+					un, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+					if !ok || un.Op != token.AND {
+						continue
+					}
+					sel, ok := ast.Unparen(un.X).(*ast.SelectorExpr)
+					if !ok {
+						continue
+					}
+					if v := fieldObj(info, sel); v != nil {
+						funcStyle[p.fset.Position(v.Pos()).String()] = v.Name()
+						sanctioned[sel] = true
+					}
+				}
+				return true
+			})
+		}
+	}
+
+	for _, u := range p.units {
+		info := u.Info
+		for _, f := range u.ScanFiles {
+			walkParents(f, func(n ast.Node, parents []ast.Node) bool {
+				sel, ok := n.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				v := fieldObj(info, sel)
+				if v == nil {
+					return true
+				}
+				if name, ok := funcStyle[p.fset.Position(v.Pos()).String()]; ok && !sanctioned[sel] {
+					p.report(sel.Sel.Pos(), atomicCheck,
+						fmt.Sprintf("field %s is accessed with sync/atomic elsewhere; plain access is a data race", name))
+					return true
+				}
+				if isAtomicType(v.Type()) && copiesAtomicValue(parents, sel) {
+					p.report(sel.Sel.Pos(), atomicCheck,
+						fmt.Sprintf("atomic field %s copied by value; use its methods or take its address", v.Name()))
+				}
+				return true
+			})
+		}
+	}
+}
+
+// fieldObj returns the struct-field variable a selector resolves to,
+// or nil when the selector is not a field access.
+func fieldObj(info *types.Info, sel *ast.SelectorExpr) *types.Var {
+	if s, ok := info.Selections[sel]; ok && s.Kind() == types.FieldVal {
+		if v, ok := s.Obj().(*types.Var); ok && v.IsField() {
+			return v
+		}
+	}
+	return nil
+}
+
+// isAtomicType reports whether t is one of the typed atomics of
+// sync/atomic (atomic.Bool, atomic.Int64, atomic.Pointer[T], ...).
+func isAtomicType(t types.Type) bool {
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync/atomic"
+}
+
+// copiesAtomicValue reports whether the selector's context copies the
+// atomic value out of place. Method calls on the field and taking its
+// address are the legal uses; everything else (assignment, argument
+// passing, composite literals, returns) forks the location.
+func copiesAtomicValue(parents []ast.Node, sel ast.Expr) bool {
+	for i := len(parents) - 1; i >= 0; i-- {
+		switch par := parents[i].(type) {
+		case *ast.ParenExpr:
+			continue
+		case *ast.SelectorExpr:
+			// Receiver of a further selection: method call
+			// (h.count.Add) or field access through the atomic —
+			// atomic types export no fields, so this is a method
+			// and the field itself is not copied.
+			return ast.Unparen(par.X) != ast.Unparen(sel)
+		case *ast.UnaryExpr:
+			return par.Op != token.AND
+		default:
+			return true
+		}
+	}
+	return true
+}

@@ -1,0 +1,131 @@
+package lint
+
+// DefaultConfig is the repository's own analysis configuration: the
+// package roles and the internal dependency DAG cmd/abmmvet enforces.
+// Adding a module-internal import anywhere requires adding the edge
+// here first — that is the point: dependency growth is a reviewed,
+// deliberate act.
+func DefaultConfig(dir string) Config {
+	return Config{
+		Dir: dir,
+		ParallelPkgs: map[string]bool{
+			"abmm/internal/parallel": true,
+		},
+		DDPkgs: map[string]bool{
+			"abmm/internal/dd": true,
+		},
+		AllowedImports: map[string][]string{
+			"abmm": {
+				"abmm/internal/algos",
+				"abmm/internal/bilinear",
+				"abmm/internal/core",
+				"abmm/internal/dd",
+				"abmm/internal/matrix",
+				"abmm/internal/obs",
+				"abmm/internal/scaling",
+				"abmm/internal/stability",
+			},
+			"abmm/cmd/abmm":    {"abmm"},
+			"abmm/cmd/abmmvet": {"abmm/internal/lint"},
+			"abmm/cmd/algoinfo": {"abmm"},
+			"abmm/cmd/bench": {
+				"abmm",
+				"abmm/internal/bench",
+			},
+			"abmm/cmd/experiments": {"abmm/internal/experiments"},
+			"abmm/cmd/sparsify": {
+				"abmm/internal/algos",
+				"abmm/internal/exact",
+				"abmm/internal/sparsify",
+				"abmm/internal/stability",
+			},
+			"abmm/examples/customalgorithm": {
+				"abmm",
+				"abmm/internal/algos",
+				"abmm/internal/bilinear",
+				"abmm/internal/exact",
+				"abmm/internal/sparsify",
+				"abmm/internal/stability",
+			},
+			"abmm/examples/quickstart": {"abmm"},
+			"abmm/examples/scaling":    {"abmm"},
+			"abmm/examples/stability":  {"abmm"},
+			"abmm/examples/tuning":     {"abmm"},
+			"abmm/internal/algos": {
+				"abmm/internal/basis",
+				"abmm/internal/bilinear",
+				"abmm/internal/exact",
+				"abmm/internal/schedule",
+			},
+			"abmm/internal/basis": {
+				"abmm/internal/exact",
+				"abmm/internal/matrix",
+				"abmm/internal/parallel",
+				"abmm/internal/pool",
+			},
+			"abmm/internal/bench": {"abmm"},
+			"abmm/internal/bilinear": {
+				"abmm/internal/exact",
+				"abmm/internal/matrix",
+				"abmm/internal/obs",
+				"abmm/internal/parallel",
+				"abmm/internal/pool",
+				"abmm/internal/schedule",
+			},
+			"abmm/internal/comm": {
+				"abmm/internal/algos",
+				"abmm/internal/basis",
+				"abmm/internal/bilinear",
+			},
+			"abmm/internal/core": {
+				"abmm/internal/algos",
+				"abmm/internal/basis",
+				"abmm/internal/bilinear",
+				"abmm/internal/dd",
+				"abmm/internal/matrix",
+				"abmm/internal/obs",
+				"abmm/internal/parallel",
+				"abmm/internal/pool",
+				"abmm/internal/stability",
+			},
+			"abmm/internal/dd": {
+				"abmm/internal/matrix",
+				"abmm/internal/parallel",
+			},
+			"abmm/internal/dist": {
+				"abmm/internal/bilinear",
+				"abmm/internal/matrix",
+			},
+			"abmm/internal/exact": {},
+			"abmm/internal/experiments": {
+				"abmm/internal/algos",
+				"abmm/internal/comm",
+				"abmm/internal/core",
+				"abmm/internal/dd",
+				"abmm/internal/dist",
+				"abmm/internal/matrix",
+				"abmm/internal/obs",
+				"abmm/internal/parallel",
+				"abmm/internal/scaling",
+				"abmm/internal/stability",
+			},
+			"abmm/internal/lint":     {},
+			"abmm/internal/matrix":   {"abmm/internal/parallel"},
+			"abmm/internal/obs":      {},
+			"abmm/internal/parallel": {},
+			"abmm/internal/pool":     {"abmm/internal/matrix"},
+			"abmm/internal/scaling":  {"abmm/internal/matrix"},
+			"abmm/internal/schedule": {"abmm/internal/exact"},
+			"abmm/internal/sparsify": {
+				"abmm/internal/algos",
+				"abmm/internal/exact",
+				"abmm/internal/stability",
+			},
+			"abmm/internal/stability": {
+				"abmm/internal/algos",
+				"abmm/internal/basis",
+				"abmm/internal/exact",
+			},
+		},
+	}
+}

@@ -1,0 +1,146 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// float-discipline: comparing floats for exact equality is almost
+// always a rounding bug. The check flags == and != where both operands
+// are non-constant floats; comparisons against untyped constants
+// (v == 0, the exact-zero sentinel the kernels rely on) stay legal, as
+// does the x != x NaN idiom. switch statements over a float tag are the
+// same comparison in disguise, so non-constant cases are flagged too.
+//
+// Inside the configured compensated-arithmetic packages (DDPkgs) the
+// check additionally forbids raw a*b−c residuals: a subtraction with a
+// float multiplication as an operand loses the low half of the product
+// unless it goes through TwoProd / math.FMA, which is the entire point
+// of those packages.
+
+const floatCheck = "float-discipline"
+
+func checkFloat(p *pass) {
+	for _, u := range p.units {
+		info := u.Info
+		// The residual rule applies to the algorithms, not their tests:
+		// a dd test computes plain a*b−c on purpose, as the uncompensated
+		// reference the compensated result is checked against.
+		dd := u.Kind == unitBase && p.cfg.DDPkgs[u.Path]
+		for _, f := range u.ScanFiles {
+			fns := enclosingFuncs(f)
+			ast.Inspect(f, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.BinaryExpr:
+					switch n.Op {
+					case token.EQL, token.NEQ:
+						p.checkFloatCmp(u, fns, n.X, n.Y, n.OpPos)
+					case token.SUB:
+						if dd {
+							p.checkDDResidual(u, fns, n)
+						}
+					}
+				case *ast.AssignStmt:
+					if dd && n.Tok == token.SUB_ASSIGN && len(n.Rhs) == 1 {
+						if isFloatMul(info, n.Rhs[0]) {
+							p.reportFloat(u, fns, n.TokPos,
+								"raw x -= a*b loses the rounding error of the product; use TwoProd or math.FMA")
+						}
+					}
+				case *ast.SwitchStmt:
+					if n.Tag == nil || !isFloat(typeOf(info, n.Tag)) {
+						return true
+					}
+					for _, stmt := range n.Body.List {
+						cc, ok := stmt.(*ast.CaseClause)
+						if !ok {
+							continue
+						}
+						for _, e := range cc.List {
+							if tv, ok := info.Types[e]; ok && tv.Value == nil {
+								p.reportFloat(u, fns, e.Pos(),
+									"switch over a float compares cases with ==; non-constant case is a float equality")
+							}
+						}
+					}
+				}
+				return true
+			})
+		}
+	}
+}
+
+func (p *pass) checkFloatCmp(u *Package, fns []funcRange, x, y ast.Expr, pos token.Pos) {
+	info := u.Info
+	tx, okx := info.Types[x]
+	ty, oky := info.Types[y]
+	if !okx || !oky || !isFloat(tx.Type) || !isFloat(ty.Type) {
+		return
+	}
+	// Either side constant: comparing against a sentinel (0, 1, −1) is
+	// deliberate and exact.
+	if tx.Value != nil || ty.Value != nil {
+		return
+	}
+	// x != x is the portable IsNaN.
+	if exprString(p.fset, x) == exprString(p.fset, y) {
+		return
+	}
+	p.reportFloat(u, fns, pos, "==/!= between non-constant floats; compare with a tolerance or math.Abs")
+}
+
+// checkDDResidual flags a − b where either operand is a float product.
+func (p *pass) checkDDResidual(u *Package, fns []funcRange, n *ast.BinaryExpr) {
+	if !isFloat(typeOf(u.Info, n)) {
+		return
+	}
+	if isFloatMul(u.Info, n.X) || isFloatMul(u.Info, n.Y) {
+		p.reportFloat(u, fns, n.OpPos,
+			"raw a*b−c residual loses the rounding error of the product; use TwoProd or math.FMA")
+	}
+}
+
+// reportFloat applies the enclosing function's //abmm:allow before the
+// line-scoped suppression in report.
+func (p *pass) reportFloat(u *Package, fns []funcRange, pos token.Pos, msg string) {
+	if p.allowedInFunc(enclosing(fns, pos), floatCheck) {
+		return
+	}
+	p.report(pos, floatCheck, msg)
+}
+
+func isFloat(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+func isFloatMul(info *types.Info, e ast.Expr) bool {
+	be, ok := ast.Unparen(e).(*ast.BinaryExpr)
+	return ok && be.Op == token.MUL && isFloat(typeOf(info, be))
+}
+
+// funcRange supports resolving a position to its enclosing function
+// declaration for function-scoped //abmm:allow directives.
+type funcRange struct {
+	fd *ast.FuncDecl
+}
+
+func enclosingFuncs(f *ast.File) []funcRange {
+	var fns []funcRange
+	for _, d := range f.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok {
+			fns = append(fns, funcRange{fd})
+		}
+	}
+	return fns
+}
+
+func enclosing(fns []funcRange, pos token.Pos) *ast.FuncDecl {
+	for _, fr := range fns {
+		if pos >= fr.fd.Pos() && pos < fr.fd.End() {
+			return fr.fd
+		}
+	}
+	return nil
+}

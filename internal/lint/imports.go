@@ -1,0 +1,59 @@
+package lint
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// import-allowlist: the module is stdlib-only — any import whose first
+// path segment contains a dot (a domain) is a finding, module-wide,
+// tests included. On top of that the base (non-test) units must respect
+// the internal dependency DAG in Config.AllowedImports: each package
+// may import only the module packages registered for it, and a package
+// absent from the map may import no module packages at all until it is
+// registered — so new edges are added deliberately, in review, not by
+// accident. Test units are exempt from the DAG (a test may reach for
+// any helper) but not from the stdlib rule.
+
+const importCheck = "import-allowlist"
+
+func checkImports(p *pass) {
+	for _, u := range p.units {
+		var allowed map[string]bool
+		if u.Kind == unitBase && p.cfg.AllowedImports != nil {
+			allowed = make(map[string]bool)
+			for _, imp := range p.cfg.AllowedImports[u.Path] {
+				allowed[imp] = true
+			}
+		}
+		for _, f := range u.ScanFiles {
+			for _, imp := range f.Imports {
+				path, err := strconv.Unquote(imp.Path.Value)
+				if err != nil {
+					continue
+				}
+				switch {
+				case p.loader.IsModulePath(path):
+					if u.Kind != unitBase || p.cfg.AllowedImports == nil {
+						continue
+					}
+					if allowed[path] {
+						continue
+					}
+					if _, registered := p.cfg.AllowedImports[u.Path]; !registered {
+						p.report(imp.Pos(), importCheck, fmt.Sprintf(
+							"package %s is not registered in the dependency DAG; add it to AllowedImports before importing %s",
+							u.Path, path))
+					} else {
+						p.report(imp.Pos(), importCheck, fmt.Sprintf(
+							"import %s is not in %s's allowlist; add the edge to the dependency DAG deliberately",
+							path, u.Path))
+					}
+				case !p.loader.IsStdlib(path):
+					p.report(imp.Pos(), importCheck, fmt.Sprintf(
+						"import %s is outside the standard library; the module is stdlib-only", path))
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,341 @@
+// Package lint is the repository's static-analysis suite (the engine
+// behind cmd/abmmvet): a stdlib-only analyzer — go/parser, go/types,
+// and the source importer, no x/tools — that type-checks every package
+// of the module and enforces the invariants the runtime tests can only
+// spot-check:
+//
+//   - hotpath-alloc: functions annotated //abmm:hotpath, and everything
+//     they statically call within the module, must not allocate.
+//   - atomic-consistency: a struct field accessed through sync/atomic
+//     (or declared with a typed atomic.*) is never accessed plainly.
+//   - float-discipline: no ==/!= between non-constant floats, and no
+//     raw a*b−c residuals inside the compensated-arithmetic packages.
+//   - rat-aliasing: no big.Rat/big.Int receiver mutation through a
+//     borrowed At() pointer or across differently-indexed aliases.
+//   - import-allowlist: stdlib-only imports module-wide plus a
+//     per-package internal dependency DAG.
+//
+// Source directives tune the checks where the invariant is intentional:
+//
+//	//abmm:hotpath              (func doc) root of the no-alloc traversal
+//	//abmm:coldpath             (func doc) excluded from the traversal;
+//	                            may allocate (amortized or opt-in paths)
+//	//abmm:allow <check> [...]  suppress the named checks on the
+//	                            comment's line and the line below (as a
+//	                            func doc comment: the whole function)
+//
+// See DESIGN.md §2c for the directive contract and how to add a check.
+package lint
+
+import (
+	"bytes"
+	"fmt"
+	"go/ast"
+	"go/printer"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// Finding is one reported violation.
+type Finding struct {
+	Pos     token.Position
+	Check   string
+	Message string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: [%s] %s", f.Pos, f.Check, f.Message)
+}
+
+// Config selects what Run analyzes and which package roles the checks
+// assume. DefaultConfig returns the repository's configuration; the
+// self-tests build fixture configs by hand.
+type Config struct {
+	// Dir is the module root; ModulePath overrides go.mod (required
+	// when, like the test fixtures, the tree has none).
+	Dir        string
+	ModulePath string
+	// Packages restricts the run to specific import paths; empty means
+	// every package of the module.
+	Packages []string
+	// FakeImports tolerates unresolvable non-module imports (fixtures
+	// exercising the import-allowlist check must still type-check).
+	FakeImports bool
+
+	// ParallelPkgs are dispatch packages whose exported functions take
+	// worker closures: function literals passed directly to their calls
+	// are exempt from the hotpath capture rule (parallel dispatch
+	// allocates by design), and their own bodies are not traversed.
+	ParallelPkgs map[string]bool
+	// DDPkgs are compensated-arithmetic packages where float-discipline
+	// additionally forbids raw a*b−c residuals (TwoProd/math.FMA
+	// territory).
+	DDPkgs map[string]bool
+	// AllowedImports is the internal dependency DAG: package import
+	// path → module-internal imports it may use. Packages missing from
+	// the map may import no module packages until registered here. nil
+	// disables the DAG half of import-allowlist (stdlib-only is still
+	// enforced).
+	AllowedImports map[string][]string
+}
+
+// Run loads the module and applies every check, returning findings
+// sorted by position. An error means the load or type-check itself
+// failed (the module does not compile), not that findings exist.
+func Run(cfg Config) ([]Finding, error) {
+	l, err := NewLoader(cfg.Dir, cfg.ModulePath)
+	if err != nil {
+		return nil, err
+	}
+	l.FakeImports = cfg.FakeImports
+	paths := cfg.Packages
+	if len(paths) == 0 {
+		paths, err = l.ModulePackages()
+		if err != nil {
+			return nil, err
+		}
+	}
+	p := &pass{
+		cfg:     &cfg,
+		fset:    l.Fset,
+		loader:  l,
+		seen:    make(map[string]bool),
+		declOf:  make(map[*ast.FuncDecl]*Package),
+		funcIdx: make(map[string]*ast.FuncDecl),
+	}
+	for _, path := range paths {
+		units, err := l.LoadUnits(path)
+		if err != nil {
+			return nil, err
+		}
+		p.units = append(p.units, units...)
+		for _, u := range units {
+			if u.Kind == unitBase {
+				p.base = append(p.base, u)
+			}
+		}
+	}
+	p.scanDirectives()
+	p.indexDecls()
+
+	checkImports(p)
+	checkHotpath(p)
+	checkAtomic(p)
+	checkFloat(p)
+	checkRat(p)
+
+	sort.Slice(p.findings, func(i, j int) bool {
+		a, b := p.findings[i], p.findings[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Check < b.Check
+	})
+	return p.findings, nil
+}
+
+// pass is the shared state of one Run: loaded units, the directive
+// tables, the function-declaration index for the hotpath traversal,
+// and the deduplicated finding list.
+type pass struct {
+	cfg    *Config
+	fset   *token.FileSet
+	loader *Loader
+	units  []*Package
+	base   []*Package
+
+	// hot/cold mark annotated functions; allowFunc holds function-scoped
+	// suppressions; allowLine[file][line] holds line-scoped ones.
+	hot       map[*ast.FuncDecl]bool
+	cold      map[*ast.FuncDecl]bool
+	allowFunc map[*ast.FuncDecl]map[string]bool
+	allowLine map[string]map[int]map[string]bool
+
+	// funcIdx maps a function object (keyed by its declaration
+	// position, which is stable across test-unit re-checks) to its
+	// declaration; declOf maps declarations back to their package for
+	// Info lookups.
+	funcIdx map[string]*ast.FuncDecl
+	declOf  map[*ast.FuncDecl]*Package
+
+	findings []Finding
+	seen     map[string]bool
+}
+
+// report records a finding unless a directive or an earlier identical
+// report suppresses it.
+func (p *pass) report(pos token.Pos, check, msg string) {
+	position := p.fset.Position(pos)
+	if lines, ok := p.allowLine[position.Filename]; ok {
+		for _, ln := range [2]int{position.Line, position.Line - 1} {
+			if checks, ok := lines[ln]; ok && (checks[check] || checks["all"]) {
+				return
+			}
+		}
+	}
+	key := fmt.Sprintf("%s|%s|%s", position, check, msg)
+	if p.seen[key] {
+		return
+	}
+	p.seen[key] = true
+	p.findings = append(p.findings, Finding{Pos: position, Check: check, Message: msg})
+}
+
+// allowedInFunc reports whether fd carries a function-scoped
+// //abmm:allow for check.
+func (p *pass) allowedInFunc(fd *ast.FuncDecl, check string) bool {
+	if fd == nil {
+		return false
+	}
+	checks := p.allowFunc[fd]
+	return checks != nil && (checks[check] || checks["all"])
+}
+
+// scanDirectives builds the directive tables from every comment of
+// every loaded file. Files shared between units are scanned once.
+func (p *pass) scanDirectives() {
+	p.hot = make(map[*ast.FuncDecl]bool)
+	p.cold = make(map[*ast.FuncDecl]bool)
+	p.allowFunc = make(map[*ast.FuncDecl]map[string]bool)
+	p.allowLine = make(map[string]map[int]map[string]bool)
+	done := make(map[*ast.File]bool)
+	for _, u := range p.units {
+		for _, f := range u.Files {
+			if done[f] {
+				continue
+			}
+			done[f] = true
+			p.scanFileDirectives(f)
+		}
+	}
+}
+
+func (p *pass) scanFileDirectives(f *ast.File) {
+	docs := make(map[*ast.CommentGroup]*ast.FuncDecl)
+	for _, d := range f.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok && fd.Doc != nil {
+			docs[fd.Doc] = fd
+		}
+	}
+	for _, cg := range f.Comments {
+		fd := docs[cg]
+		for _, c := range cg.List {
+			rest, ok := strings.CutPrefix(c.Text, "//abmm:")
+			if !ok {
+				continue
+			}
+			verb, args, _ := strings.Cut(rest, " ")
+			switch verb {
+			case "hotpath":
+				if fd != nil {
+					p.hot[fd] = true
+				}
+			case "coldpath":
+				if fd != nil {
+					p.cold[fd] = true
+				}
+			case "allow":
+				checks := strings.Fields(args)
+				if len(checks) == 0 {
+					continue
+				}
+				if fd != nil {
+					set := p.allowFunc[fd]
+					if set == nil {
+						set = make(map[string]bool)
+						p.allowFunc[fd] = set
+					}
+					for _, ch := range checks {
+						set[ch] = true
+					}
+					continue
+				}
+				pos := p.fset.Position(c.Pos())
+				lines := p.allowLine[pos.Filename]
+				if lines == nil {
+					lines = make(map[int]map[string]bool)
+					p.allowLine[pos.Filename] = lines
+				}
+				set := lines[pos.Line]
+				if set == nil {
+					set = make(map[string]bool)
+					lines[pos.Line] = set
+				}
+				for _, ch := range checks {
+					set[ch] = true
+				}
+			}
+		}
+	}
+}
+
+// indexDecls builds the base-universe function index the hotpath
+// traversal resolves static callees against. Keys are declaration
+// positions, which identify a function across the independent type
+// universes of test units.
+func (p *pass) indexDecls() {
+	for _, u := range p.base {
+		for _, f := range u.Files {
+			for _, d := range f.Decls {
+				fd, ok := d.(*ast.FuncDecl)
+				if !ok || fd.Name == nil {
+					continue
+				}
+				obj := u.Info.Defs[fd.Name]
+				if obj == nil {
+					continue
+				}
+				p.funcIdx[p.fset.Position(obj.Pos()).String()] = fd
+				p.declOf[fd] = u
+			}
+		}
+	}
+}
+
+// declFor resolves a types.Object (from any unit's universe) to its
+// module declaration, or nil for stdlib and declaration-less objects.
+func (p *pass) declFor(obj interface{ Pos() token.Pos }) *ast.FuncDecl {
+	if obj == nil {
+		return nil
+	}
+	pos := obj.Pos()
+	if !pos.IsValid() {
+		return nil
+	}
+	return p.funcIdx[p.fset.Position(pos).String()]
+}
+
+// walkParents traverses root calling fn with every node and its
+// ancestor stack (parents[len-1] is the immediate parent). Returning
+// false prunes the subtree.
+func walkParents(root ast.Node, fn func(n ast.Node, parents []ast.Node) bool) {
+	var stack []ast.Node
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if !fn(n, stack) {
+			return false
+		}
+		stack = append(stack, n)
+		return true
+	})
+}
+
+// exprString renders an expression for messages and for the textual
+// alias comparisons of rat-aliasing and the x != x idiom.
+func exprString(fset *token.FileSet, e ast.Expr) string {
+	var buf bytes.Buffer
+	if err := printer.Fprint(&buf, fset, e); err != nil {
+		return fmt.Sprintf("%T", e)
+	}
+	return buf.String()
+}

@@ -1,0 +1,32 @@
+// Package atomicpkg exercises atomic-consistency: a function-style
+// atomic field read plainly, and a typed atomic copied by value.
+package atomicpkg
+
+import "sync/atomic"
+
+// Counter mixes a function-style atomic field and a typed one.
+type Counter struct {
+	n     int64
+	typed atomic.Int64
+}
+
+// Inc is the sanctioned access that registers n as atomic.
+func (c *Counter) Inc() {
+	atomic.AddInt64(&c.n, 1)
+}
+
+// Racy reads n plainly after Inc registered it: a data race.
+func (c *Counter) Racy() int64 {
+	return c.n // want atomic-consistency
+}
+
+// Typed goes through the typed field's methods: legal.
+func (c *Counter) Typed() int64 {
+	return c.typed.Load()
+}
+
+// Fork copies the typed atomic out of place, silently forking the
+// memory location.
+func (c *Counter) Fork() atomic.Int64 {
+	return c.typed // want atomic-consistency
+}

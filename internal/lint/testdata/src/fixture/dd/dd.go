@@ -1,0 +1,27 @@
+// Package dd stands in for the compensated-arithmetic packages: it is
+// listed in DDPkgs, so raw a*b−c residuals are forbidden in its base
+// unit.
+package dd
+
+import "math"
+
+// BadResidual loses the rounding error of the product.
+func BadResidual(a, b, c float64) float64 {
+	return a*b - c // want float-discipline
+}
+
+// GoodResidual routes the residual through the fused multiply-add.
+func GoodResidual(a, b, c float64) float64 {
+	return math.FMA(a, b, -c)
+}
+
+// BadSubAssign is the compound-assignment form of the same bug.
+func BadSubAssign(x, a, b float64) float64 {
+	x -= a * b // want float-discipline
+	return x
+}
+
+// PlainSub has no product operand: legal.
+func PlainSub(a, b float64) float64 {
+	return a - b
+}

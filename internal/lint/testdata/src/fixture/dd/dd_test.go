@@ -1,0 +1,10 @@
+package dd
+
+// reference computes the uncompensated residual on purpose: the DD
+// rule applies to the algorithms, not to the tests that use plain
+// arithmetic as the baseline a compensated result is checked against.
+func reference(a, b, c float64) float64 {
+	return a*b - c
+}
+
+var _ = reference

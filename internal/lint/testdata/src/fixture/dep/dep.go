@@ -1,0 +1,6 @@
+// Package dep is a leaf helper other fixture packages import to
+// exercise the dependency-DAG half of import-allowlist.
+package dep
+
+// Answer is the constant the importers reference.
+const Answer = 42

@@ -1,0 +1,29 @@
+// Package floats exercises float-discipline outside the compensated-
+// arithmetic packages: equality comparisons and float switches.
+package floats
+
+// Eq compares two measured values exactly: a rounding bug.
+func Eq(a, b float64) bool {
+	return a == b // want float-discipline
+}
+
+// Sentinel compares against the exact-zero sentinel: legal.
+func Sentinel(v float64) bool {
+	return v == 0
+}
+
+// IsNaN is the portable x != x idiom: legal.
+func IsNaN(x float64) bool {
+	return x != x
+}
+
+// Switch hides a float equality in a non-constant case expression.
+func Switch(v, w float64) int {
+	switch v {
+	case w: // want float-discipline
+		return 1
+	case 0:
+		return 2
+	}
+	return 0
+}

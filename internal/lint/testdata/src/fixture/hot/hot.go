@@ -1,0 +1,58 @@
+// Package hot exercises the hotpath-alloc traversal: annotated roots,
+// static callees, the coldpath and allow escapes, and the parallel-
+// dispatch capture exemption.
+package hot
+
+import "fixture/par"
+
+var sink []float64
+var boxed interface{}
+
+//abmm:hotpath
+func Root(n int) {
+	buf := make([]float64, n) // want hotpath-alloc
+	sink = buf
+	helper(n)
+	amortized(n)
+	// The literal captures buf, but it is handed directly to a
+	// parallel-dispatch call: exempt.
+	par.For(n, func(i int) { buf[i] = float64(i) })
+}
+
+// helper is not annotated itself; the traversal reaches it from Root.
+func helper(n int) {
+	sink = append(sink, float64(n)) // want hotpath-alloc
+}
+
+// amortized allocates, but is excluded from the traversal.
+//abmm:coldpath
+func amortized(n int) {
+	sink = make([]float64, n)
+}
+
+// Allowed demonstrates a justified, line-scoped suppression: the
+// append below never grows (near-miss negative for the check).
+//abmm:hotpath
+func Allowed(n int) {
+	//abmm:allow hotpath-alloc
+	sink = append(sink, float64(n))
+}
+
+func take(v interface{}) { boxed = v }
+
+//abmm:hotpath
+func Box(x float64, p *float64) {
+	take(x) // want hotpath-alloc
+	take(p) // pointer-shaped: stores directly in the interface word
+}
+
+//abmm:hotpath
+func Capture(n int) func() int {
+	f := func() int { return n } // want hotpath-alloc
+	return f
+}
+
+//abmm:hotpath
+func NoCapture() func() int {
+	return func() int { return 7 } // captures nothing: legal
+}

@@ -1,0 +1,13 @@
+// Package bad is registered in the DAG with an empty allowlist, so its
+// module-internal import is an unapproved edge; it also imports outside
+// the standard library.
+package bad
+
+import (
+	_ "example.com/external" // want import-allowlist
+
+	"fixture/dep" // want import-allowlist
+)
+
+// Edge uses the unapproved import.
+const Edge = dep.Answer

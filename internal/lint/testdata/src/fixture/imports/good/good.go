@@ -1,0 +1,14 @@
+// Package good imports only the standard library and its registered
+// DAG edge: no findings.
+package good
+
+import (
+	"strings"
+
+	"fixture/dep"
+)
+
+// Clean uses both imports.
+func Clean(s string) int {
+	return len(strings.TrimSpace(s)) + dep.Answer
+}

@@ -1,0 +1,8 @@
+// Package rogue is deliberately absent from the dependency DAG, so any
+// module-internal import is a finding until it is registered.
+package rogue
+
+import "fixture/dep" // want import-allowlist
+
+// Edge uses the unregistered import.
+const Edge = dep.Answer

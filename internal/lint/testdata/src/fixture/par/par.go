@@ -1,0 +1,12 @@
+// Package par is the fixture's parallel-dispatch package. It is listed
+// in ParallelPkgs, so function literals passed directly to its calls
+// are exempt from the hotpath capture rule and its own bodies are not
+// traversed.
+package par
+
+// For runs fn(i) for i in [0, n).
+func For(n int, fn func(int)) {
+	for i := 0; i < n; i++ {
+		fn(i)
+	}
+}

@@ -1,0 +1,37 @@
+// Package rat exercises rat-aliasing: receiver-mutating math/big calls
+// through borrowed accessor pointers and across aliased indices.
+package rat
+
+import "math/big"
+
+// Grid owns a dense slab of rationals.
+type Grid struct {
+	cells []big.Rat
+}
+
+// At borrows a pointer into the grid's storage.
+func (g *Grid) At(i int) *big.Rat {
+	return &g.cells[i]
+}
+
+// MutateBorrowed writes through the borrowed pointer, mutating storage
+// the grid owns.
+func (g *Grid) MutateBorrowed(i int, x *big.Rat) {
+	g.At(i).Add(g.At(i), x) // want rat-aliasing
+}
+
+// Fresh mutates a constructor-owned value: legal.
+func Fresh(x *big.Rat) *big.Rat {
+	return new(big.Rat).Set(x)
+}
+
+// AliasIndex mutates one element while reading another over the same
+// base; when i == j at runtime the method reads what it overwrites.
+func AliasIndex(s []*big.Rat, i, j int, x *big.Rat) {
+	s[i].Add(s[j], x) // want rat-aliasing
+}
+
+// InPlace is math/big's documented self-aliasing form: legal.
+func InPlace(s []*big.Rat, i int, x *big.Rat) {
+	s[i].Add(s[i], x)
+}

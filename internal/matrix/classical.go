@@ -17,6 +17,7 @@ const (
 // case of all fast algorithms in this library and doubles as the
 // "DGEMM" baseline that runtimes are normalized against (the paper uses
 // Intel MKL; see DESIGN.md §4 for the substitution).
+//abmm:hotpath
 func Mul(c, a, b *Matrix, workers int) {
 	if a.Cols != b.Rows || c.Rows != a.Rows || c.Cols != b.Cols {
 		panic(ErrShape)
@@ -32,6 +33,7 @@ func Mul(c, a, b *Matrix, workers int) {
 func MulInto(c, a, b *Matrix, workers int) { Mul(c, a, b, workers) }
 
 // MulAdd computes c += a·b. c must not alias a or b.
+//abmm:hotpath
 func MulAdd(c, a, b *Matrix, workers int) {
 	if a.Cols != b.Rows || c.Rows != a.Rows || c.Cols != b.Cols {
 		panic(ErrShape)

@@ -199,7 +199,11 @@ func (m *Matrix) Transpose() *Matrix {
 	return out
 }
 
-// Equal reports exact element-wise equality of a and b.
+// Equal reports exact element-wise equality of a and b. Bitwise
+// comparison is this function's contract, not an accident: callers use
+// it to assert that refactors preserve results to the last ulp.
+//
+//abmm:allow float-discipline
 func Equal(a, b *Matrix) bool {
 	if !SameShape(a, b) {
 		return false

@@ -74,6 +74,8 @@ func TestBlockPartition(t *testing.T) {
 	if b.Rows != 2 || b.Cols != 2 {
 		t.Fatalf("block shape %dx%d", b.Rows, b.Cols)
 	}
+	// A block is a view over the same storage: identical bits.
+	//abmm:allow float-discipline
 	if b.At(0, 0) != m.At(4, 2) {
 		t.Fatal("block origin wrong")
 	}
@@ -114,6 +116,8 @@ func TestTranspose(t *testing.T) {
 	}
 	for i := 0; i < m.Rows; i++ {
 		for j := 0; j < m.Cols; j++ {
+			// Transpose copies elements verbatim: identical bits.
+			//abmm:allow float-discipline
 			if m.At(i, j) != mt.At(j, i) {
 				t.Fatalf("transpose value at %d,%d", i, j)
 			}
@@ -140,6 +144,8 @@ func TestIdentityAndFill(t *testing.T) {
 			if i == j {
 				want = 1
 			}
+			// Identity stores exactly 0 and 1.
+			//abmm:allow float-discipline
 			if id.At(i, j) != want {
 				t.Fatal("identity wrong")
 			}

@@ -122,6 +122,7 @@ type lcTerm struct {
 // the destination once, which is what keeps the linear phase
 // communication-efficient. dst may alias srcs[t] only when t is the
 // first term with a nonzero coefficient.
+//abmm:hotpath
 func LinearCombine(dst *Matrix, coeffs []float64, srcs []*Matrix, workers int) {
 	if len(coeffs) != len(srcs) {
 		panic("matrix: LinearCombine coeffs/srcs length mismatch")
@@ -131,6 +132,8 @@ func LinearCombine(dst *Matrix, coeffs []float64, srcs []*Matrix, workers int) {
 	var tbuf [32]lcTerm
 	terms := tbuf[:0]
 	if len(srcs) > len(tbuf) {
+		// Cold spill: no catalog algorithm combines more than 32 terms.
+		//abmm:allow hotpath-alloc
 		terms = make([]lcTerm, 0, len(srcs))
 	}
 	for t, c := range coeffs {
@@ -140,6 +143,8 @@ func LinearCombine(dst *Matrix, coeffs []float64, srcs []*Matrix, workers int) {
 		if !SameShape(dst, srcs[t]) {
 			panic(ErrShape)
 		}
+		// Capacity was reserved above; this append never grows.
+		//abmm:allow hotpath-alloc
 		terms = append(terms, lcTerm{c, srcs[t]})
 	}
 	if len(terms) == 0 {
@@ -150,6 +155,10 @@ func LinearCombine(dst *Matrix, coeffs []float64, srcs []*Matrix, workers int) {
 		combineRows(dst, terms, 0, dst.Rows)
 		return
 	}
+	// The parallel path heap-copies the term table for the worker
+	// closure; it already pays goroutine dispatch, so this small copy
+	// is in budget. The sequential warm path above stays alloc-free.
+	//abmm:allow hotpath-alloc
 	ht := make([]lcTerm, len(terms))
 	copy(ht, terms)
 	parallel.ForChunks(dst.Rows, workers, rowsGrain(dst), func(lo, hi int) {

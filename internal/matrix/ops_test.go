@@ -43,6 +43,8 @@ func TestOpsOnViews(t *testing.T) {
 	Add(out, a, b, 2)
 	for i := 0; i < 4; i++ {
 		for j := 0; j < 4; j++ {
+			// Add performs the same single fl(a+b) per element.
+			//abmm:allow float-discipline
 			if out.At(i, j) != a.At(i, j)+b.At(i, j) {
 				t.Fatal("Add wrong on strided view")
 			}

@@ -1,0 +1,64 @@
+package obs
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzHistogramBucket drives arbitrary observations through the
+// record→bucket→bounds pipeline and checks the bucketing invariants:
+// the chosen bucket's bounds contain the observed value, buckets tile
+// the axis contiguously and monotonically, and Observe lands the value
+// in exactly the bucket histBucket computes.
+func FuzzHistogramBucket(f *testing.F) {
+	f.Add(int64(0))
+	f.Add(int64(1))
+	f.Add(int64(3))
+	f.Add(int64(4))
+	f.Add(int64(1000))
+	f.Add(int64(-5))
+	f.Add(int64(math.MaxInt64))
+	f.Add(int64(1) << 52)
+	f.Fuzz(func(t *testing.T, v int64) {
+		clamped := v
+		if clamped < 0 {
+			clamped = 0 // Observe clamps negatives
+		}
+		i := histBucket(uint64(clamped))
+		if i < 0 || i >= histBuckets {
+			t.Fatalf("histBucket(%d) = %d out of range [0, %d)", clamped, i, histBuckets)
+		}
+		lo, hi := histBucketBounds(i)
+		fv := float64(clamped)
+		// Above 2^53 the float64 conversion of v can round up to the
+		// bucket's upper bound, so the inclusive check is the exact one.
+		if fv < lo || fv > hi {
+			t.Fatalf("value %d not within bucket %d bounds [%g, %g)", clamped, i, lo, hi)
+		}
+		if clamped < 1<<53 && fv >= hi {
+			t.Fatalf("value %d (exactly representable) reached upper bound of bucket %d [%g, %g)", clamped, i, lo, hi)
+		}
+		if i > 0 {
+			prevLo, prevHi := histBucketBounds(i - 1)
+			if prevLo >= prevHi {
+				t.Fatalf("bucket %d bounds inverted: [%g, %g)", i-1, prevLo, prevHi)
+			}
+			// Bounds are sums of powers of two, exact in float64, and
+			// consecutive buckets tile the axis with no gap or overlap.
+			//abmm:allow float-discipline
+			if prevHi != lo {
+				t.Fatalf("bucket %d..%d not contiguous: prev hi %g, lo %g", i-1, i, prevHi, lo)
+			}
+		}
+
+		var h Histogram
+		h.Observe(v)
+		s := h.Snapshot()
+		if s.Count != 1 || s.Sum != clamped || s.Max != clamped {
+			t.Fatalf("Observe(%d): count=%d sum=%d max=%d, want 1/%d/%d", v, s.Count, s.Sum, s.Max, clamped, clamped)
+		}
+		if s.Buckets[i] != 1 {
+			t.Fatalf("Observe(%d) did not land in bucket %d", v, i)
+		}
+	})
+}

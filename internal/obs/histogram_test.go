@@ -23,6 +23,8 @@ func TestHistBucketEdges(t *testing.T) {
 	prevHi := 0.0
 	for i := 0; i < histBuckets; i++ {
 		lo, hi := histBucketBounds(i)
+		// Bounds are exact powers-of-two sums; contiguity is bitwise.
+		//abmm:allow float-discipline
 		if lo != prevHi {
 			t.Fatalf("bucket %d starts at %g, previous ended at %g", i, lo, prevHi)
 		}

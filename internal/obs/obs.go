@@ -196,6 +196,9 @@ func (ms MulSpan) StartPhase(p Phase) PhaseSpan {
 	if ms.labels {
 		ps.ctx = ms.ctx
 		ps.labels = true
+		// Opt-in profiling branch: labels cost allocations only when
+		// the recorder explicitly asked for pprof labeling.
+		//abmm:allow hotpath-alloc
 		pprof.SetGoroutineLabels(pprof.WithLabels(ms.ctx, pprof.Labels("abmm_phase", p.String())))
 	}
 	if ms.rec != nil {

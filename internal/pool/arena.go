@@ -178,6 +178,7 @@ func (a *Arena) Stats() (Counters, []ClassStat) {
 	return c, classes
 }
 
+//abmm:hotpath
 func (a *Arena) Floats(n int) []float64 {
 	if n == 0 {
 		return nil
@@ -203,9 +204,12 @@ func (a *Arena) Floats(n int) []float64 {
 	}
 	a.bytes += size
 	a.mu.Unlock()
+	// Cold miss: the arena grows once per size class, then recycles.
+	//abmm:allow hotpath-alloc
 	return make([]float64, n, 1<<class)
 }
 
+//abmm:hotpath
 func (a *Arena) PutFloats(buf []float64) {
 	c := cap(buf)
 	if c == 0 {
@@ -216,12 +220,16 @@ func (a *Arena) PutFloats(buf []float64) {
 		return // not arena-shaped; let the GC have it
 	}
 	a.mu.Lock()
+	// The free list reaches its high-water length during warmup and
+	// then stops growing: every append after that reuses capacity.
+	//abmm:allow hotpath-alloc
 	a.floats[class] = append(a.floats[class], buf[:c])
 	a.live -= int64(8) << class
 	a.outstanding[class]--
 	a.mu.Unlock()
 }
 
+//abmm:hotpath
 func (a *Arena) Hdr() *matrix.Matrix {
 	a.mu.Lock()
 	if l := len(a.hdrs); l > 0 {
@@ -231,27 +239,36 @@ func (a *Arena) Hdr() *matrix.Matrix {
 		return h
 	}
 	a.mu.Unlock()
+	// Cold miss: headers are minted until the working set is covered,
+	// then PutHdr recycles them forever.
+	//abmm:allow hotpath-alloc
 	return &matrix.Matrix{}
 }
 
+//abmm:hotpath
 func (a *Arena) PutHdr(m *matrix.Matrix) {
 	*m = matrix.Matrix{} // drop references so buffers are not pinned twice
 	a.mu.Lock()
+	// Warmup-bounded like the floats free list above.
+	//abmm:allow hotpath-alloc
 	a.hdrs = append(a.hdrs, m)
 	a.mu.Unlock()
 }
 
+//abmm:hotpath
 func (a *Arena) Mat(r, c int) *matrix.Matrix {
 	m := a.Hdr()
 	m.Init(r, c, a.Floats(r*c))
 	return m
 }
 
+//abmm:hotpath
 func (a *Arena) PutMat(m *matrix.Matrix) {
 	a.PutFloats(m.Data)
 	a.PutHdr(m)
 }
 
+//abmm:hotpath
 func (a *Arena) Mats(n int) []*matrix.Matrix {
 	if n == 0 {
 		return nil
@@ -265,9 +282,12 @@ func (a *Arena) Mats(n int) []*matrix.Matrix {
 		return s[:n]
 	}
 	a.mu.Unlock()
+	// Cold miss: pointer slices are minted per class until warm.
+	//abmm:allow hotpath-alloc
 	return make([]*matrix.Matrix, n, 1<<class)
 }
 
+//abmm:hotpath
 func (a *Arena) PutMats(s []*matrix.Matrix) {
 	c := cap(s)
 	if c == 0 {
@@ -282,6 +302,8 @@ func (a *Arena) PutMats(s []*matrix.Matrix) {
 		s[i] = nil
 	}
 	a.mu.Lock()
+	// Warmup-bounded like the floats free list.
+	//abmm:allow hotpath-alloc
 	a.mats[class] = append(a.mats[class], s)
 	a.mu.Unlock()
 }

@@ -76,6 +76,10 @@ done:
 		out = append(out, *e)
 	}
 	sort.Slice(out, func(i, j int) bool {
+		// Sort key, not a numeric judgment: equal-factor entries fall
+		// through to the additions tie-break, and factors of one class
+		// are computed identically so ties are bitwise.
+		//abmm:allow float-discipline
 		if out[i].Factor != out[j].Factor {
 			return out[i].Factor < out[j].Factor
 		}

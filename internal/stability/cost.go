@@ -126,10 +126,11 @@ func LeadingCoefficientNumeric(alg *algos.Algorithm) float64 {
 	// overflow even for large R.
 	c1, c2, c3 := coeff(6), coeff(7), coeff(8)
 	d1, d2 := c2-c1, c3-c2
-	if d1 == d2 {
+	denom := d2 - d1
+	if denom == 0 {
 		return c3
 	}
-	return c3 - d2*d2/(d2-d1)
+	return c3 - d2*d2/denom
 }
 
 func ipow(b, e int) int {
