@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet lint bench bench-json bench-compare trace-demo clean
+.PHONY: all build test race vet lint bench bench-json bench-compare serve-smoke trace-demo clean
 
 all: build vet test lint
 
@@ -14,13 +14,15 @@ test:
 	$(GO) test ./...
 
 # Race-detector pass at small sizes: the shared-Multiplier concurrency
-# tests plus the core/bilinear engines that execute under it, the
-# observability collector's concurrent span aggregation, and the
-# analyzer suite's own fixture tests (-short skips its slow repo-wide
-# pass, which `make lint` runs directly).
+# tests (including concurrent cancellation) plus the core/bilinear
+# engines that execute under it, the observability collector's
+# concurrent span aggregation, the serving layer (admission gate,
+# coalescer, concurrent same-shape requests), and the analyzer suite's
+# own fixture tests (-short skips its slow repo-wide pass, which
+# `make lint` runs directly).
 race:
 	$(GO) test -race -short -run 'TestMultiplierConcurrent|TestMultiplyIntoPadded|TestMultiplierStats' .
-	$(GO) test -race -short ./internal/core/... ./internal/bilinear/... ./internal/basis/... ./internal/pool/... ./internal/obs/... ./internal/lint/...
+	$(GO) test -race -short ./internal/core/... ./internal/bilinear/... ./internal/basis/... ./internal/pool/... ./internal/obs/... ./internal/lint/... ./internal/server/...
 
 vet:
 	$(GO) vet ./...
@@ -45,6 +47,24 @@ bench-json:
 
 bench-compare:
 	$(GO) run ./cmd/bench -o /tmp/abmm-bench-head.json -compare BENCH_0.json
+
+# End-to-end serving smoke test: build abmmd, drive it with loadgen for
+# a few seconds over a small shape mix, require at least one success
+# and zero hard errors, then drain via SIGTERM. CI runs this step.
+SMOKE_ADDR ?= 127.0.0.1:18080
+serve-smoke:
+	$(GO) build -o /tmp/abmmd ./cmd/abmmd
+	$(GO) build -o /tmp/abmm-loadgen ./cmd/loadgen
+	/tmp/abmmd -addr $(SMOKE_ADDR) -algs ours,strassen & \
+	pid=$$!; \
+	for i in $$(seq 1 50); do \
+		if wget -q -O /dev/null http://$(SMOKE_ADDR)/healthz 2>/dev/null; then break; fi; \
+		sleep 0.1; \
+	done; \
+	/tmp/abmm-loadgen -target http://$(SMOKE_ADDR) -c 4 -d 3s -shapes 64,128,256 -min-ok 1; \
+	status=$$?; \
+	kill -TERM $$pid; wait $$pid; \
+	exit $$status
 
 # Record an execution trace of one multiplication and open the viewer:
 # task "abmm.multiply", regions per pipeline phase, and per-node

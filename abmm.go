@@ -140,9 +140,25 @@ type StatsServer = obs.Server
 // /debug/pprof. Serving continues in the background until Close.
 func ServeStats(addr string, c *Collector) (*StatsServer, error) { return obs.Serve(addr, c) }
 
-// StatsHandler returns the observability HTTP handler for mounting
-// into an existing server; see ServeStats for the routes.
+// StatsHandler returns the standalone observability HTTP handler (the
+// ServeStats routes plus a plain-text index at /); prefer MountStats to
+// share a mux with your own routes.
 func StatsHandler(c *Collector) http.Handler { return obs.Handler(c) }
+
+// MetricsWriter appends extra Prometheus-text metric families to a
+// /metrics scrape; see MountStats.
+type MetricsWriter = obs.MetricsWriter
+
+// MountStats registers the observability endpoints — /metrics,
+// /debug/vars, and /debug/pprof — on an existing mux, so one
+// http.Server (and one port) carries both application routes and
+// observability. Each extra writer is invoked after the collector's
+// families on every /metrics scrape; the serving layer uses this to
+// publish its request, queue, and admission metrics alongside the
+// engine's. ServeStats and StatsHandler are conveniences built on it.
+func MountStats(mux *http.ServeMux, c *Collector, extra ...MetricsWriter) {
+	obs.Mount(mux, c, extra...)
+}
 
 // WriteStatsMetrics renders the collector's current state in
 // Prometheus text exposition format.

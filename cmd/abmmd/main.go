@@ -1,0 +1,82 @@
+// Command abmmd serves matrix multiplication over HTTP: the serving
+// layer of internal/server behind a flag surface and a graceful
+// lifecycle. SIGTERM/SIGINT starts a drain — the listener refuses new
+// multiplications with 503 while in-flight requests finish — and the
+// final observability snapshot is flushed to stderr before exit.
+//
+//	abmmd -addr :8080 -algs ours,strassen -max-in-flight 2
+//
+// See README.md ("Running as a service") for the wire format and the
+// endpoint table.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"abmm"
+	"abmm/internal/server"
+)
+
+func main() {
+	var (
+		addr         = flag.String("addr", ":8080", "listen address")
+		algs         = flag.String("algs", "", "comma-separated catalog algorithms to serve (default: all)")
+		workers      = flag.Int("workers", 0, "per-multiplication parallelism (0 = GOMAXPROCS)")
+		maxInFlight  = flag.Int("max-in-flight", 0, "concurrent multiplications (0 = default 2)")
+		maxQueued    = flag.Int("max-queued", 0, "admission queue length (0 = 4x max-in-flight)")
+		queueTimeout = flag.Duration("queue-timeout", 0, "max wait for an execution slot (0 = 2s)")
+		defTimeout   = flag.Duration("default-timeout", 0, "execution deadline when the request has none (0 = none)")
+		maxElems     = flag.Int("max-elems", 0, "per-operand element cap (0 = 16Mi)")
+		errSample    = flag.Int("error-sample", 0, "sample accuracy telemetry every Nth multiplication (0 = off)")
+		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "max time to finish in-flight requests on shutdown")
+	)
+	flag.Parse()
+
+	cfg := server.Config{
+		Workers:          *workers,
+		MaxInFlight:      *maxInFlight,
+		MaxQueued:        *maxQueued,
+		QueueTimeout:     *queueTimeout,
+		DefaultTimeout:   *defTimeout,
+		MaxElems:         *maxElems,
+		ErrorSampleEvery: *errSample,
+		Collector:        abmm.NewCollector(),
+	}
+	if *algs != "" {
+		for _, name := range strings.Split(*algs, ",") {
+			if name = strings.TrimSpace(name); name != "" {
+				cfg.Algorithms = append(cfg.Algorithms, name)
+			}
+		}
+	}
+	abmm.PublishStats("abmm", cfg.Collector)
+
+	srv, err := server.Serve(*addr, cfg)
+	if err != nil {
+		log.Fatalf("abmmd: %v", err)
+	}
+	log.Printf("abmmd: serving on %s (algorithms: %s)", srv.Addr(), strings.Join(cfg.Algorithms, ", "))
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
+	defer stop()
+	<-ctx.Done()
+	stop() // a second signal kills immediately
+
+	log.Printf("abmmd: draining (up to %v)", *drainTimeout)
+	dctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := srv.Shutdown(dctx); err != nil {
+		log.Printf("abmmd: drain incomplete: %v", err)
+		srv.Close()
+	}
+	fmt.Fprintln(os.Stderr, srv.Collector().Snapshot().Report())
+	log.Printf("abmmd: bye")
+}

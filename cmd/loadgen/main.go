@@ -1,0 +1,189 @@
+// Command loadgen drives an abmmd instance with closed-loop load: a
+// fixed number of concurrent clients, each issuing one multiplication
+// after another over the binary wire format, across a configurable
+// shape mix and duration. It prints a per-shape latency table
+// (p50/p95/p99/max), throughput, and the response-code breakdown, and
+// exits non-zero when the run saw hard errors or fewer successes than
+// -min-ok — which is how `make serve-smoke` turns it into a gate.
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"abmm"
+	"abmm/internal/server"
+)
+
+type result struct {
+	shape   int
+	code    int // 0 = transport error
+	latency time.Duration
+}
+
+func main() {
+	var (
+		target   = flag.String("target", "http://127.0.0.1:8080", "abmmd base URL")
+		conc     = flag.Int("c", 4, "concurrent closed-loop clients")
+		dur      = flag.Duration("d", 5*time.Second, "run duration")
+		alg      = flag.String("alg", "ours", "catalog algorithm to request")
+		levels   = flag.Int("levels", server.LevelsAuto, "recursion depth (-1 = auto)")
+		shapeArg = flag.String("shapes", "128,256", "comma-separated square sizes in the mix")
+		timeout  = flag.Duration("timeout", 0, "per-request execution deadline (0 = none)")
+		minOK    = flag.Int("min-ok", 0, "fail unless at least this many requests succeeded")
+	)
+	flag.Parse()
+
+	var shapes []int
+	for _, s := range strings.Split(*shapeArg, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(s))
+		if err != nil || n <= 0 {
+			fmt.Fprintf(os.Stderr, "loadgen: bad shape %q\n", s)
+			os.Exit(2)
+		}
+		shapes = append(shapes, n)
+	}
+
+	// Pre-encode one request body per shape; clients replay the bytes.
+	bodies := make(map[int][]byte, len(shapes))
+	for _, n := range shapes {
+		a, b := abmm.NewMatrix(n, n), abmm.NewMatrix(n, n)
+		rng := abmm.Rand(uint64(n))
+		abmm.FillPair(a, b, abmm.DistSymmetric, rng)
+		var buf bytes.Buffer
+		if err := server.EncodeRequest(&buf, &server.Request{Alg: *alg, Levels: *levels, A: a, B: b}); err != nil {
+			fmt.Fprintf(os.Stderr, "loadgen: %v\n", err)
+			os.Exit(2)
+		}
+		bodies[n] = buf.Bytes()
+	}
+
+	url := *target + "/v1/multiply"
+	if *timeout > 0 {
+		url += "?timeout=" + timeout.String()
+	}
+	client := &http.Client{}
+
+	var (
+		mu      sync.Mutex
+		results []result
+	)
+	deadline := time.Now().Add(*dur)
+	var wg sync.WaitGroup
+	for c := 0; c < *conc; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			local := make([]result, 0, 1024)
+			for i := 0; time.Now().Before(deadline); i++ {
+				shape := shapes[(c+i)%len(shapes)]
+				start := time.Now()
+				resp, err := client.Post(url, server.ContentTypeBinary, bytes.NewReader(bodies[shape]))
+				r := result{shape: shape, latency: time.Since(start)}
+				if err != nil {
+					local = append(local, r)
+					continue
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				r.code = resp.StatusCode
+				r.latency = time.Since(start)
+				local = append(local, r)
+			}
+			mu.Lock()
+			results = append(results, local...)
+			mu.Unlock()
+		}(c)
+	}
+	wg.Wait()
+
+	ok, shed, canceled, hardErrs := report(os.Stdout, results, *dur)
+	if hardErrs > 0 {
+		fmt.Fprintf(os.Stderr, "loadgen: %d hard errors\n", hardErrs)
+		os.Exit(1)
+	}
+	if ok < *minOK {
+		fmt.Fprintf(os.Stderr, "loadgen: only %d successes, need %d\n", ok, *minOK)
+		os.Exit(1)
+	}
+	_ = shed
+	_ = canceled
+}
+
+// report prints the latency table and returns the code-class counts:
+// successes, shed (429), canceled (499/504), and hard errors
+// (transport failures and any other status).
+func report(w io.Writer, results []result, dur time.Duration) (ok, shed, canceled, hardErrs int) {
+	codes := map[int]int{}
+	byShape := map[int][]time.Duration{}
+	for _, r := range results {
+		codes[r.code]++
+		switch r.code {
+		case http.StatusOK:
+			ok++
+			byShape[r.shape] = append(byShape[r.shape], r.latency)
+		case http.StatusTooManyRequests:
+			shed++
+		case 499, http.StatusGatewayTimeout:
+			canceled++
+		default:
+			hardErrs++
+		}
+	}
+
+	fmt.Fprintf(w, "requests: %d total, %d ok, %d shed, %d canceled, %d errors\n",
+		len(results), ok, shed, canceled, hardErrs)
+	fmt.Fprintf(w, "throughput: %.1f ok/s over %v\n", float64(ok)/dur.Seconds(), dur)
+
+	shapes := make([]int, 0, len(byShape))
+	for n := range byShape {
+		shapes = append(shapes, n)
+	}
+	sort.Ints(shapes)
+	fmt.Fprintf(w, "%-10s %8s %10s %10s %10s %10s\n", "shape", "count", "p50", "p95", "p99", "max")
+	for _, n := range shapes {
+		lats := byShape[n]
+		sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+		fmt.Fprintf(w, "%-10s %8d %10v %10v %10v %10v\n",
+			fmt.Sprintf("%dx%d", n, n), len(lats),
+			pct(lats, 50).Round(time.Microsecond), pct(lats, 95).Round(time.Microsecond),
+			pct(lats, 99).Round(time.Microsecond), lats[len(lats)-1].Round(time.Microsecond))
+	}
+
+	keys := make([]int, 0, len(codes))
+	for code := range codes {
+		keys = append(keys, code)
+	}
+	sort.Ints(keys)
+	parts := make([]string, 0, len(keys))
+	for _, code := range keys {
+		name := strconv.Itoa(code)
+		if code == 0 {
+			name = "transport-error"
+		}
+		parts = append(parts, fmt.Sprintf("%s=%d", name, codes[code]))
+	}
+	fmt.Fprintf(w, "codes: %s\n", strings.Join(parts, " "))
+	return ok, shed, canceled, hardErrs
+}
+
+// pct returns the p-th percentile of a sorted latency slice.
+func pct(sorted []time.Duration, p int) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := (len(sorted)*p + 99) / 100
+	if idx > 0 {
+		idx--
+	}
+	return sorted[idx]
+}

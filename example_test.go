@@ -2,6 +2,9 @@ package abmm_test
 
 import (
 	"fmt"
+	"io"
+	"net/http"
+	"strings"
 
 	"abmm"
 )
@@ -71,6 +74,36 @@ func maxRelErr(got, ref *abmm.Matrix) float64 {
 		}
 	}
 	return max
+}
+
+// Serving live engine telemetry over HTTP: Prometheus /metrics,
+// expvar /debug/vars, and pprof on one port. For a full
+// multiplication service (requests in, admission control, deadlines)
+// see cmd/abmmd and internal/server.
+func ExampleServeStats() {
+	rec := abmm.NewCollector()
+	alg, _ := abmm.Lookup("ours")
+	mu := abmm.NewMultiplier(alg, abmm.Options{Levels: 1, Recorder: rec})
+	a := abmm.FromRows([][]float64{{1, 2}, {3, 4}})
+	c := abmm.NewMatrix(2, 2)
+	mu.MultiplyInto(c, a, a)
+
+	srv, err := abmm.ServeStats("127.0.0.1:0", rec)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	defer srv.Close()
+	resp, err := http.Get("http://" + srv.Addr() + "/metrics")
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	fmt.Println(strings.Contains(string(body), "abmm_mults_total 1"))
+	// Output:
+	// true
 }
 
 // The error-measurement pipeline behind the paper's Figure 2(C).

@@ -123,6 +123,15 @@ func (t *Transform) Apply(in *matrix.Matrix, level, workers int) *matrix.Matrix 
 // scratch from al. dst may be dirty scratch; every element is written.
 //abmm:hotpath
 func (t *Transform) ApplyInto(dst, src *matrix.Matrix, level, workers int, al pool.Allocator) {
+	t.ApplyIntoCancel(dst, src, level, workers, al, nil)
+}
+
+// ApplyIntoCancel is ApplyInto with a cooperative cancellation token:
+// the recursion polls cn at every node boundary and abandons the
+// remaining subtree once cn is set, leaving dst partially written.
+// Scratch accounting stays balanced. A nil cn makes this ApplyInto.
+//abmm:hotpath
+func (t *Transform) ApplyIntoCancel(dst, src *matrix.Matrix, level, workers int, al pool.Allocator, cn *parallel.Cancel) {
 	d1l := ipow(t.D1, level)
 	if src.Rows%d1l != 0 {
 		panic(fmt.Sprintf("basis: %d rows not divisible by %d^%d", src.Rows, t.D1, level))
@@ -130,10 +139,13 @@ func (t *Transform) ApplyInto(dst, src *matrix.Matrix, level, workers int, al po
 	if dst.Rows != ipow(t.D2, level)*(src.Rows/d1l) || dst.Cols != src.Cols {
 		panic(matrix.ErrShape)
 	}
-	t.apply(dst, src, level, workers, al)
+	t.apply(dst, src, level, workers, al, cn)
 }
 
-func (t *Transform) apply(dst, src *matrix.Matrix, level, workers int, al pool.Allocator) {
+func (t *Transform) apply(dst, src *matrix.Matrix, level, workers int, al pool.Allocator, cn *parallel.Cancel) {
+	if cn.Canceled() {
+		return
+	}
 	if level == 0 {
 		matrix.CopyInto(dst, src)
 		return
@@ -155,7 +167,7 @@ func (t *Transform) apply(dst, src *matrix.Matrix, level, workers int, al pool.A
 		sv := al.Hdr()
 		for i := 0; i < t.D1; i++ {
 			src.ViewInto(sv, i*sh, 0, sh, src.Cols)
-			t.apply(tmp[i], sv, level-1, 1, al)
+			t.apply(tmp[i], sv, level-1, 1, al, cn)
 		}
 		dv := al.Hdr()
 		for j := 0; j < t.D2; j++ {
@@ -168,7 +180,7 @@ func (t *Transform) apply(dst, src *matrix.Matrix, level, workers int, al pool.A
 		parallel.For(t.D1, workers, 1, func(i int) {
 			sv := al.Hdr()
 			src.ViewInto(sv, i*sh, 0, sh, src.Cols)
-			t.apply(tmp[i], sv, level-1, 1, al)
+			t.apply(tmp[i], sv, level-1, 1, al, cn)
 			al.PutHdr(sv)
 		})
 		parallel.For(t.D2, workers, 1, func(j int) {

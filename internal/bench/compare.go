@@ -20,6 +20,8 @@ type Regression struct {
 	New    float64 `json:"new"`
 }
 
+// String renders the regression as "cell: metric old -> new" for
+// compare-gate output.
 func (r Regression) String() string {
 	if r.Metric == "missing" {
 		return fmt.Sprintf("%s: cell missing from new run", r.Cell)

@@ -169,6 +169,17 @@ func columns(m *matrix.Matrix) [][]float64 {
 // contents are ignored.
 //abmm:hotpath
 func (e *Engine) ExecInto(c, a, b *matrix.Matrix, al pool.Allocator) {
+	e.ExecIntoCancel(c, a, b, al, nil)
+}
+
+// ExecIntoCancel is ExecInto with a cooperative cancellation token: the
+// recursion polls cn at every node boundary (one atomic load; no
+// per-element or per-leaf cost) and abandons the remaining subtree once
+// cn is set, leaving c in an unspecified state. Scratch accounting stays
+// balanced on the abandoned path, so the arena remains reusable. A nil
+// cn is valid and makes this identical to ExecInto.
+//abmm:hotpath
+func (e *Engine) ExecIntoCancel(c, a, b *matrix.Matrix, al pool.Allocator, cn *parallel.Cancel) {
 	s, levels := e.s, e.levels
 	du, dv, dw := ipow(s.DU(), levels), ipow(s.DV(), levels), ipow(s.DW(), levels)
 	if a.Rows%du != 0 || b.Rows%dv != 0 {
@@ -181,10 +192,20 @@ func (e *Engine) ExecInto(c, a, b *matrix.Matrix, al pool.Allocator) {
 	if c.Rows != dw*(a.Rows/du) || c.Cols != b.Cols {
 		panic(fmt.Sprintf("bilinear: output %dx%d, want %dx%d", c.Rows, c.Cols, dw*(a.Rows/du), b.Cols))
 	}
-	e.recurse(c, a, b, levels, al)
+	e.recurse(c, a, b, levels, al, cn)
 }
 
-func (e *Engine) recurse(c, a, b *matrix.Matrix, level int, al pool.Allocator) {
+func (e *Engine) recurse(c, a, b *matrix.Matrix, level int, al pool.Allocator, cn *parallel.Cancel) {
+	// Cooperative cancellation: one nil-check-plus-atomic-load per
+	// recursion node (base cases included — a leaf is still a whole
+	// classical block multiply, not an element). Bailing here, before
+	// any scratch is drawn for this node, keeps pool accounting
+	// balanced; the skipped subtree leaves its output block garbage,
+	// which is fine because a canceled multiplication's result is
+	// discarded by contract.
+	if cn.Canceled() {
+		return
+	}
 	// With the execution tracer on, every recursion node above the base
 	// case emits a named region, so `go tool trace` shows the recursion
 	// tree under the per-multiplication task (see internal/obs).
@@ -196,14 +217,14 @@ func (e *Engine) recurse(c, a, b *matrix.Matrix, level int, al pool.Allocator) {
 		return
 	}
 	if !e.direct {
-		e.scheduled(c, a, b, level, al)
+		e.scheduled(c, a, b, level, al, cn)
 		return
 	}
 	if e.limiter != nil && level >= e.taskMinLevel {
-		e.taskParallel(c, a, b, level, al)
+		e.taskParallel(c, a, b, level, al, cn)
 		return
 	}
-	e.sequential(c, a, b, level, al)
+	e.sequential(c, a, b, level, al, cn)
 }
 
 // scheduled runs one recursion step using the CSE-compiled linear-phase
@@ -211,7 +232,7 @@ func (e *Engine) recurse(c, a, b *matrix.Matrix, level int, al pool.Allocator) {
 // the R products recurse (as concurrent tasks on the top levels in
 // task-parallel mode), and the decode program writes the output groups
 // in place.
-func (e *Engine) scheduled(c, a, b *matrix.Matrix, level int, al pool.Allocator) {
+func (e *Engine) scheduled(c, a, b *matrix.Matrix, level int, al pool.Allocator, cn *parallel.Cancel) {
 	s := e.specAt(level)
 	encA, encB, dec := s.Programs()
 	ah, bh, ch := a.Rows/s.DU(), b.Rows/s.DV(), c.Rows/s.DW()
@@ -226,10 +247,10 @@ func (e *Engine) scheduled(c, a, b *matrix.Matrix, level int, al pool.Allocator)
 	if e.limiter != nil && level >= e.taskMinLevel {
 		// Done in a separate method so its closures don't force sRun
 		// and tRun to the heap on the non-task path.
-		e.recurseTasks(prods, sRun.outs, tRun.outs, level, al)
+		e.recurseTasks(prods, sRun.outs, tRun.outs, level, al, cn)
 	} else {
 		for r := 0; r < s.R; r++ {
-			e.recurse(prods[r], sRun.outs[r], tRun.outs[r], level-1, al)
+			e.recurse(prods[r], sRun.outs[r], tRun.outs[r], level-1, al, cn)
 		}
 	}
 	sRun.release(al)
@@ -253,12 +274,12 @@ func (e *Engine) scheduled(c, a, b *matrix.Matrix, level int, al pool.Allocator)
 // guarantee covers only the default schedule.
 //
 //abmm:coldpath
-func (e *Engine) recurseTasks(prods, souts, touts []*matrix.Matrix, level int, al pool.Allocator) {
+func (e *Engine) recurseTasks(prods, souts, touts []*matrix.Matrix, level int, al pool.Allocator, cn *parallel.Cancel) {
 	var wg sync.WaitGroup
 	n := len(prods)
 	for r := 0; r < n; r++ {
 		task := func(r int) func() {
-			return func() { e.recurse(prods[r], souts[r], touts[r], level-1, al) }
+			return func() { e.recurse(prods[r], souts[r], touts[r], level-1, al, cn) }
 		}(r)
 		// The last product always runs inline so the spawning
 		// goroutine contributes work instead of blocking.
@@ -276,7 +297,7 @@ func (e *Engine) recurseTasks(prods, souts, touts []*matrix.Matrix, level int, a
 // sequential is the low-memory depth-first schedule: one S, T and
 // product buffer per recursion level, with products accumulated
 // directly into the output groups as they are produced.
-func (e *Engine) sequential(c, a, b *matrix.Matrix, level int, al pool.Allocator) {
+func (e *Engine) sequential(c, a, b *matrix.Matrix, level int, al pool.Allocator, cn *parallel.Cancel) {
 	s := e.specAt(level)
 	sc := e.colsOf(s)
 	ah, bh, ch := a.Rows/s.DU(), b.Rows/s.DV(), c.Rows/s.DW()
@@ -296,9 +317,12 @@ func (e *Engine) sequential(c, a, b *matrix.Matrix, level int, al pool.Allocator
 	}
 	touched = touched[:s.DW()]
 	for r := 0; r < s.R; r++ {
+		if cn.Canceled() {
+			break
+		}
 		matrix.LinearCombine(S, sc.u[r], aGroups, e.kernelWorkers)
 		matrix.LinearCombine(T, sc.v[r], bGroups, e.kernelWorkers)
-		e.recurse(P, S, T, level-1, al)
+		e.recurse(P, S, T, level-1, al, cn)
 		for k := 0; k < s.DW(); k++ {
 			w := s.wF.At(k, r)
 			if w == 0 {
@@ -332,7 +356,7 @@ func (e *Engine) sequential(c, a, b *matrix.Matrix, level int, al pool.Allocator
 // ablation mode, allocating task closures by design.
 //
 //abmm:coldpath
-func (e *Engine) taskParallel(c, a, b *matrix.Matrix, level int, al pool.Allocator) {
+func (e *Engine) taskParallel(c, a, b *matrix.Matrix, level int, al pool.Allocator, cn *parallel.Cancel) {
 	s := e.specAt(level)
 	sc := e.colsOf(s)
 	ah, bh, ch := a.Rows/s.DU(), b.Rows/s.DV(), c.Rows/s.DW()
@@ -348,7 +372,7 @@ func (e *Engine) taskParallel(c, a, b *matrix.Matrix, level int, al pool.Allocat
 				T := al.Mat(bh, b.Cols)
 				matrix.LinearCombine(S, sc.u[r], aGroups, 1)
 				matrix.LinearCombine(T, sc.v[r], bGroups, 1)
-				e.recurse(prods[r], S, T, level-1, al)
+				e.recurse(prods[r], S, T, level-1, al, cn)
 				al.PutMat(S)
 				al.PutMat(T)
 			}

@@ -49,7 +49,7 @@ func ExecMixed(specs []*Spec, a, b *matrix.Matrix, opt Options) *matrix.Matrix {
 	}
 	dw := ipow(first.M0*first.N0, levels)
 	c := matrix.New(dw*(a.Rows/du), b.Cols)
-	e.recurse(c, a, b, levels, pool.Global)
+	e.recurse(c, a, b, levels, pool.Global, nil)
 	return c
 }
 

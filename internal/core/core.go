@@ -12,6 +12,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"abmm/internal/algos"
@@ -113,6 +114,19 @@ func (mu *Multiplier) MultiplyInto(dst, a, b *matrix.Matrix) {
 		panic(fmt.Sprintf("core: cannot multiply %dx%d by %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
 	}
 	mu.Plan(a.Rows, a.Cols, b.Cols).MultiplyInto(dst, a, b)
+}
+
+// MultiplyIntoCtx is MultiplyInto under a context: the recursive phases
+// poll ctx cooperatively at recursion-node boundaries and abandon the
+// remaining work as soon as ctx is done, returning ctx's error. On a
+// non-nil return dst holds garbage and must be discarded. A background
+// (non-cancelable) ctx follows the plain warm path exactly; see
+// Plan.MultiplyIntoCtx for granularity and allocation notes.
+func (mu *Multiplier) MultiplyIntoCtx(ctx context.Context, dst, a, b *matrix.Matrix) error {
+	if a.Cols != b.Rows {
+		panic(fmt.Sprintf("core: cannot multiply %dx%d by %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	return mu.Plan(a.Rows, a.Cols, b.Cols).MultiplyIntoCtx(ctx, dst, a, b)
 }
 
 // Multiply computes A·B with the configured algorithm.

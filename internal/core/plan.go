@@ -10,6 +10,7 @@ package core
 
 import (
 	"container/list"
+	"context"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -20,6 +21,7 @@ import (
 	"abmm/internal/dd"
 	"abmm/internal/matrix"
 	"abmm/internal/obs"
+	"abmm/internal/parallel"
 	"abmm/internal/pool"
 	"abmm/internal/stability"
 )
@@ -193,6 +195,13 @@ func (p *Plan) Levels() int { return p.levels }
 // single arena of this plan.
 func (p *Plan) ArenaBytes() int64 { return p.bytes.Load() }
 
+// ErrorBound returns the plan's precompiled forward error bound factor:
+// the depth-aware Theorem III.8 bound f(K,L)·ε of the compiled
+// recursion at the padded shape, such that ‖Ĉ−C‖ ≤ ErrorBound·‖A‖‖B‖ in
+// max norms (to first order in ε). The serving layer reports it as
+// per-request accuracy metadata.
+func (p *Plan) ErrorBound() float64 { return p.errBound }
+
 func (p *Plan) checkout() *pool.Arena { return p.arenas.Get().(*pool.Arena) }
 
 func (p *Plan) release(ar *pool.Arena) {
@@ -212,6 +221,36 @@ func (p *Plan) release(ar *pool.Arena) {
 //
 //abmm:hotpath
 func (p *Plan) MultiplyInto(dst, a, b *matrix.Matrix) {
+	p.run(dst, a, b, nil)
+}
+
+// MultiplyIntoCtx is MultiplyInto under a context: when ctx carries a
+// deadline or is cancelable, the recursive phases poll a cooperative
+// cancellation token at node boundaries (see parallel.Cancel) and the
+// remaining recursion subtree is abandoned as soon as ctx is done. On a
+// non-nil return, dst holds garbage and must be discarded; on a nil
+// return it holds the full product. Cancellation granularity is one
+// recursion node — a level-0 plan (no recursion) runs to completion —
+// and the warm zero-alloc guarantee covers only the background-context
+// path (watching a cancelable ctx allocates the watcher).
+//
+//abmm:coldpath
+func (p *Plan) MultiplyIntoCtx(ctx context.Context, dst, a, b *matrix.Matrix) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if ctx.Done() == nil {
+		p.run(dst, a, b, nil)
+		return nil
+	}
+	cn, stop := parallel.WatchContext(ctx)
+	defer stop()
+	p.run(dst, a, b, cn)
+	return ctx.Err()
+}
+
+//abmm:hotpath
+func (p *Plan) run(dst, a, b *matrix.Matrix, cn *parallel.Cancel) {
 	if a.Rows != p.key.M || a.Cols != p.key.K || b.Rows != p.key.K || b.Cols != p.key.N {
 		panic(fmt.Sprintf("core: plan compiled for %dx%d·%dx%d got %dx%d·%dx%d",
 			p.key.M, p.key.K, p.key.K, p.key.N, a.Rows, a.Cols, b.Rows, b.Cols))
@@ -226,7 +265,9 @@ func (p *Plan) MultiplyInto(dst, a, b *matrix.Matrix) {
 		matrix.MulInto(dst, a, b, w)
 		ps.End()
 		ms.End()
-		p.maybeSampleError(dst, a, b)
+		if !cn.Canceled() {
+			p.maybeSampleError(dst, a, b)
+		}
 		return
 	}
 	s := p.alg.Spec
@@ -264,20 +305,20 @@ func (p *Plan) MultiplyInto(dst, a, b *matrix.Matrix) {
 		ps = ms.StartPhase(obs.PhaseForward)
 		if p.phi != nil {
 			if p.phiIP {
-				p.phi.ApplyInPlaceFrom(as, p.levels, w, ar)
+				p.phi.ApplyInPlaceFromCancel(as, p.levels, w, ar, cn)
 			} else {
 				t := ar.Mat(p.phiR, p.asC)
-				p.phi.ApplyInto(t, as, p.levels, w, ar)
+				p.phi.ApplyIntoCancel(t, as, p.levels, w, ar, cn)
 				ar.PutMat(as)
 				as = t
 			}
 		}
 		if p.psi != nil {
 			if p.psiIP {
-				p.psi.ApplyInPlaceFrom(bs, p.levels, w, ar)
+				p.psi.ApplyInPlaceFromCancel(bs, p.levels, w, ar, cn)
 			} else {
 				t := ar.Mat(p.psiR, p.bsC)
-				p.psi.ApplyInto(t, bs, p.levels, w, ar)
+				p.psi.ApplyIntoCancel(t, bs, p.levels, w, ar, cn)
 				ar.PutMat(bs)
 				bs = t
 			}
@@ -288,7 +329,7 @@ func (p *Plan) MultiplyInto(dst, a, b *matrix.Matrix) {
 	// Recursive-bilinear phase.
 	ps = ms.StartPhase(obs.PhaseBilinear)
 	cs := ar.Mat(p.csR, p.csC)
-	p.eng.ExecInto(cs, as, bs, ar)
+	p.eng.ExecIntoCancel(cs, as, bs, ar, cn)
 	ar.PutMat(as)
 	ar.PutMat(bs)
 	ps.End()
@@ -297,10 +338,10 @@ func (p *Plan) MultiplyInto(dst, a, b *matrix.Matrix) {
 	if p.nuT != nil {
 		ps = ms.StartPhase(obs.PhaseInverse)
 		if p.nuIP {
-			p.nuT.ApplyInPlaceFrom(cs, p.levels, w, ar)
+			p.nuT.ApplyInPlaceFromCancel(cs, p.levels, w, ar, cn)
 		} else {
 			t := ar.Mat(p.nuR, p.csC)
-			p.nuT.ApplyInto(t, cs, p.levels, w, ar)
+			p.nuT.ApplyIntoCancel(t, cs, p.levels, w, ar, cn)
 			ar.PutMat(cs)
 			cs = t
 		}
@@ -331,7 +372,11 @@ func (p *Plan) MultiplyInto(dst, a, b *matrix.Matrix) {
 		})
 	}
 	ms.End()
-	p.maybeSampleError(dst, a, b)
+	// Never sample a canceled execution: dst holds garbage, and a
+	// garbage "measured error" would poison the accuracy histograms.
+	if !cn.Canceled() {
+		p.maybeSampleError(dst, a, b)
+	}
 }
 
 // maybeSampleError implements the Options.ErrorSampleEvery policy:

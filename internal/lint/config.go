@@ -25,7 +25,11 @@ func DefaultConfig(dir string) Config {
 				"abmm/internal/scaling",
 				"abmm/internal/stability",
 			},
-			"abmm/cmd/abmm":    {"abmm"},
+			"abmm/cmd/abmm": {"abmm"},
+			"abmm/cmd/abmmd": {
+				"abmm",
+				"abmm/internal/server",
+			},
 			"abmm/cmd/abmmvet": {"abmm/internal/lint"},
 			"abmm/cmd/algoinfo": {"abmm"},
 			"abmm/cmd/bench": {
@@ -33,6 +37,10 @@ func DefaultConfig(dir string) Config {
 				"abmm/internal/bench",
 			},
 			"abmm/cmd/experiments": {"abmm/internal/experiments"},
+			"abmm/cmd/loadgen": {
+				"abmm",
+				"abmm/internal/server",
+			},
 			"abmm/cmd/sparsify": {
 				"abmm/internal/algos",
 				"abmm/internal/exact",
@@ -116,6 +124,10 @@ func DefaultConfig(dir string) Config {
 			"abmm/internal/pool":     {"abmm/internal/matrix"},
 			"abmm/internal/scaling":  {"abmm/internal/matrix"},
 			"abmm/internal/schedule": {"abmm/internal/exact"},
+			"abmm/internal/server": {
+				"abmm",
+				"abmm/internal/obs",
+			},
 			"abmm/internal/sparsify": {
 				"abmm/internal/algos",
 				"abmm/internal/exact",

@@ -26,15 +26,30 @@ import (
 	"strconv"
 )
 
-// Handler returns an http.Handler serving the observability surface
-// for c: /metrics, /debug/vars, /debug/pprof/ and a plain-text index
-// at /. The collector may be shared with live multiplications; every
-// scrape takes a fresh snapshot.
-func Handler(c *Collector) http.Handler {
-	mux := http.NewServeMux()
+// MetricsWriter appends extra Prometheus-text metric families to a
+// /metrics scrape. A serving layer passes one to Mount so its own
+// request/queue metrics appear on the same endpoint as the engine's,
+// rather than forcing a second port or a second scrape target.
+type MetricsWriter func(w io.Writer)
+
+// Mount registers the observability endpoints on an existing mux:
+//
+//	/metrics      Prometheus text format (WriteMetrics + extras)
+//	/debug/vars   the expvar registry (see Publish)
+//	/debug/pprof  the net/http/pprof profile family
+//
+// It deliberately claims no other pattern — in particular not "/" — so
+// a server can mount it next to its own routes on one http.Server.
+// Handler and Serve are the standalone conveniences built on it. The
+// collector may be shared with live multiplications; every scrape takes
+// a fresh snapshot.
+func Mount(mux *http.ServeMux, c *Collector, extra ...MetricsWriter) {
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		WriteMetrics(w, c)
+		for _, fn := range extra {
+			fn(w)
+		}
 	})
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -42,6 +57,14 @@ func Handler(c *Collector) http.Handler {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+}
+
+// Handler returns a standalone http.Handler serving the observability
+// surface for c: everything Mount registers plus a plain-text index at
+// /. Use Mount directly to share a mux with other routes.
+func Handler(c *Collector) http.Handler {
+	mux := http.NewServeMux()
+	Mount(mux, c)
 	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
 		if r.URL.Path != "/" {
 			http.NotFound(w, r)
@@ -162,6 +185,17 @@ func (c *Collector) errRatioHist() *Histogram {
 		return nil
 	}
 	return &c.errRatio
+}
+
+// WriteHistogram renders one histogram snapshot as a complete
+// Prometheus metric family (HELP/TYPE header plus cumulative
+// _bucket/_sum/_count series), with recorded values multiplied by
+// scale on output. It exists for MetricsWriter extras: a layer that
+// keeps its own obs.Histogram (e.g. the HTTP serving layer's
+// request-duration and queue-wait distributions) renders it onto the
+// shared /metrics endpoint in the same format as the engine families.
+func WriteHistogram(w io.Writer, name, help string, h HistSnapshot, scale float64) {
+	writeHist(w, name, help, "", h, scale)
 }
 
 // writeHist emits one full histogram metric family (HELP/TYPE plus the

@@ -11,6 +11,7 @@
 package parallel
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -115,6 +116,47 @@ func Do(fns ...func()) {
 	}
 	fns[0]()
 	wg.Wait()
+}
+
+// Cancel is a cooperative cancellation token for recursive kernels. The
+// execution layers poll Canceled at recursion-node boundaries and
+// abandon the remaining subtree when it reports true, so an abandoned
+// request stops consuming CPU within about one base-case multiplication
+// rather than running to completion. A nil *Cancel is valid and never
+// canceled: the uncancelable warm path pays one nil check per recursion
+// node and nothing else.
+//
+// Cancel deliberately does not wrap context.Context: a context's Err
+// takes a mutex in the cancellable implementations, while Canceled is a
+// single atomic load, cheap enough to poll from every recursion node.
+// Use WatchContext to bridge from a context.
+type Cancel struct {
+	flag atomic.Bool
+}
+
+// NewCancel returns a token in the not-canceled state.
+func NewCancel() *Cancel { return &Cancel{} }
+
+// Set moves the token to the canceled state. It is safe to call from
+// any goroutine, repeatedly, and on a nil receiver (a no-op).
+func (c *Cancel) Set() {
+	if c != nil {
+		c.flag.Store(true)
+	}
+}
+
+// Canceled reports whether Set has been called. A nil receiver reports
+// false, so uncancelable call sites pass nil and pay only the check.
+func (c *Cancel) Canceled() bool { return c != nil && c.flag.Load() }
+
+// WatchContext couples a fresh Cancel to ctx: when ctx is done the
+// token is Set. The returned stop function releases the watcher (like
+// context.AfterFunc's stop) and must be called to avoid holding the
+// context's callback list; it does not un-cancel the token.
+func WatchContext(ctx context.Context) (*Cancel, func() bool) {
+	cn := NewCancel()
+	stop := context.AfterFunc(ctx, cn.Set)
+	return cn, stop
 }
 
 // Limiter bounds the number of concurrently outstanding spawned tasks.

@@ -1,0 +1,111 @@
+package server
+
+// Admission control. The gate is the server's load regulator: at most
+// MaxInFlight multiplications execute at once (the engine parallelizes
+// inside each one, so stacking more would only thrash caches and
+// inflate every request's latency), at most MaxQueued wait, and nobody
+// waits longer than QueueTimeout. Everything beyond that is rejected
+// immediately with 429 + Retry-After — the communication-avoiding
+// lesson applied to scheduling: refusing work early is cheaper than
+// admitting work the machine cannot finish in time.
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"time"
+)
+
+// Errors returned by gate.acquire; the handler maps them to HTTP
+// statuses (both overload cases become 429 + Retry-After).
+var (
+	errQueueFull    = errors.New("server: admission queue full")
+	errQueueTimeout = errors.New("server: timed out waiting for an execution slot")
+)
+
+// gate is a two-stage admission regulator: a semaphore of execution
+// slots and a bounded, time-limited wait for one.
+type gate struct {
+	slots      chan struct{}
+	maxQueued  int64
+	timeout    time.Duration
+	inFlight   atomic.Int64
+	queued     atomic.Int64
+	queuedPeak atomic.Int64 // high-water mark of queued, for tests/metrics
+
+	admitted        atomic.Int64
+	rejectedFull    atomic.Int64
+	rejectedTimeout atomic.Int64
+}
+
+func newGate(maxInFlight, maxQueued int, timeout time.Duration) *gate {
+	if maxInFlight < 1 {
+		maxInFlight = 1
+	}
+	if maxQueued < 0 {
+		maxQueued = 0
+	}
+	if timeout <= 0 {
+		timeout = time.Second
+	}
+	return &gate{
+		slots:     make(chan struct{}, maxInFlight),
+		maxQueued: int64(maxQueued),
+		timeout:   timeout,
+	}
+}
+
+// acquire claims an execution slot, waiting in the bounded queue if
+// none is free. It returns a release function on success and one of
+// errQueueFull, errQueueTimeout, or ctx.Err() on rejection. The wait is
+// capped by both QueueTimeout and ctx, so an abandoned request never
+// holds a queue position.
+func (g *gate) acquire(ctx context.Context) (release func(), err error) {
+	release = func() {
+		<-g.slots
+		g.inFlight.Add(-1)
+	}
+	select {
+	case g.slots <- struct{}{}:
+		g.inFlight.Add(1)
+		g.admitted.Add(1)
+		return release, nil
+	default:
+	}
+	if q := g.queued.Add(1); q > g.maxQueued {
+		g.queued.Add(-1)
+		g.rejectedFull.Add(1)
+		return nil, errQueueFull
+	} else {
+		for {
+			peak := g.queuedPeak.Load()
+			if q <= peak || g.queuedPeak.CompareAndSwap(peak, q) {
+				break
+			}
+		}
+	}
+	defer g.queued.Add(-1)
+	timer := time.NewTimer(g.timeout)
+	defer timer.Stop()
+	select {
+	case g.slots <- struct{}{}:
+		g.inFlight.Add(1)
+		g.admitted.Add(1)
+		return release, nil
+	case <-timer.C:
+		g.rejectedTimeout.Add(1)
+		return nil, errQueueTimeout
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// retryAfterSeconds is the Retry-After hint sent with 429 responses: a
+// rough time for one queue position to clear, never below one second.
+func (g *gate) retryAfterSeconds() int {
+	s := int(g.timeout / time.Second)
+	if s < 1 {
+		s = 1
+	}
+	return s
+}

@@ -1,0 +1,113 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestGateFastPath(t *testing.T) {
+	g := newGate(2, 4, time.Second)
+	r1, err := g.acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := g.acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := g.inFlight.Load(); got != 2 {
+		t.Fatalf("inFlight = %d, want 2", got)
+	}
+	r1()
+	r2()
+	if got := g.inFlight.Load(); got != 0 {
+		t.Fatalf("inFlight after release = %d, want 0", got)
+	}
+	if got := g.admitted.Load(); got != 2 {
+		t.Fatalf("admitted = %d, want 2", got)
+	}
+}
+
+func TestGateQueueFull(t *testing.T) {
+	g := newGate(1, 0, time.Second)
+	release, err := g.acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer release()
+	if _, err := g.acquire(context.Background()); !errors.Is(err, errQueueFull) {
+		t.Fatalf("want errQueueFull, got %v", err)
+	}
+	if got := g.rejectedFull.Load(); got != 1 {
+		t.Fatalf("rejectedFull = %d, want 1", got)
+	}
+}
+
+func TestGateQueueTimeout(t *testing.T) {
+	g := newGate(1, 1, 10*time.Millisecond)
+	release, err := g.acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer release()
+	if _, err := g.acquire(context.Background()); !errors.Is(err, errQueueTimeout) {
+		t.Fatalf("want errQueueTimeout, got %v", err)
+	}
+	if got := g.queuedPeak.Load(); got < 1 {
+		t.Fatalf("queuedPeak = %d, want >= 1", got)
+	}
+	if got := g.queued.Load(); got != 0 {
+		t.Fatalf("queued after timeout = %d, want 0", got)
+	}
+}
+
+func TestGateContextCancel(t *testing.T) {
+	g := newGate(1, 1, time.Minute)
+	release, err := g.acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer release()
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := g.acquire(ctx)
+		done <- err
+	}()
+	// Wait until the second acquire is queued, then abandon it.
+	for g.queued.Load() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	if err := <-done; !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	if got := g.queued.Load(); got != 0 {
+		t.Fatalf("queued after cancel = %d, want 0", got)
+	}
+}
+
+func TestGateQueueDrainsToSlot(t *testing.T) {
+	g := newGate(1, 2, time.Second)
+	release, err := g.acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		r, err := g.acquire(context.Background())
+		if err == nil {
+			r()
+		}
+		done <- err
+	}()
+	for g.queued.Load() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	release()
+	if err := <-done; err != nil {
+		t.Fatalf("queued acquire after release: %v", err)
+	}
+}

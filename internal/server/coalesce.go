@@ -1,0 +1,89 @@
+package server
+
+// Same-shape request coalescing. Every admitted request must resolve a
+// compiled plan before it can execute, and under serving traffic the
+// shape mix is heavily repeated — that is the whole premise of the
+// plan/execute split. The coalescer groups concurrent requests for one
+// (algorithm, levels, shape) into an execution window that touches the
+// Multiplier's plan cache exactly once: the first request in resolves
+// the plan (compiling it on a cold cache), every joiner shares the
+// resolved pointer, and the window closes when the last request leaves.
+// Under same-shape saturation the plan-cache mutex drops out of the
+// per-request path entirely, and a cold compile is paid by one request
+// per window instead of racing duplicates.
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"abmm"
+)
+
+// shapeKey identifies one execution window: the algorithm, the
+// requested recursion depth, and the operand shape — exactly the inputs
+// that determine a compiled plan.
+type shapeKey struct {
+	alg     string
+	levels  int
+	m, k, n int
+}
+
+// window is one open execution window. The once guards plan resolution
+// so joiners block on the resolver rather than re-entering the plan
+// cache; refs counts the requests currently inside the window.
+type window struct {
+	once sync.Once
+	plan *abmm.Plan
+	refs int
+}
+
+// coalescer tracks the open execution windows by shape.
+type coalescer struct {
+	mu      sync.Mutex
+	windows map[shapeKey]*window
+
+	opened atomic.Int64 // windows opened (first request for a shape)
+	joined atomic.Int64 // requests that joined an already-open window
+}
+
+// enter joins (or opens) the window for key, resolving the plan through
+// resolve exactly once per window. It returns the shared plan, a leave
+// function the caller must invoke when its execution is done, and
+// whether this request joined an existing window.
+func (co *coalescer) enter(key shapeKey, resolve func() *abmm.Plan) (plan *abmm.Plan, leave func(), joinedWindow bool) {
+	co.mu.Lock()
+	if co.windows == nil {
+		co.windows = make(map[shapeKey]*window)
+	}
+	w, ok := co.windows[key]
+	if !ok {
+		w = &window{}
+		co.windows[key] = w
+		co.opened.Add(1)
+	} else {
+		co.joined.Add(1)
+	}
+	w.refs++
+	co.mu.Unlock()
+
+	// Resolve outside the coalescer lock: a cold resolve compiles a
+	// plan, and other shapes must not wait behind it.
+	w.once.Do(func() { w.plan = resolve() })
+
+	leave = func() {
+		co.mu.Lock()
+		w.refs--
+		if w.refs == 0 {
+			delete(co.windows, key)
+		}
+		co.mu.Unlock()
+	}
+	return w.plan, leave, ok
+}
+
+// open returns the number of currently open windows.
+func (co *coalescer) open() int {
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	return len(co.windows)
+}

@@ -1,0 +1,103 @@
+package server
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"abmm"
+)
+
+func TestCoalesceSharesOneResolve(t *testing.T) {
+	var co coalescer
+	key := shapeKey{alg: "ours", levels: 1, m: 8, k: 8, n: 8}
+
+	alg, err := abmm.Lookup("ours")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mu := abmm.NewMultiplier(alg, abmm.Options{Levels: 1})
+
+	resolves := 0
+	entered := make(chan struct{})
+	proceed := make(chan struct{})
+	resolve := func() *abmm.Plan {
+		resolves++
+		close(entered)
+		<-proceed // hold the window open until the joiners have piled in
+		return mu.Plan(8, 8, 8)
+	}
+
+	var wg sync.WaitGroup
+	plans := make([]*abmm.Plan, 4)
+	leaves := make([]func(), 4)
+	joined := make([]bool, 4)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		plans[0], leaves[0], joined[0] = co.enter(key, resolve)
+	}()
+	<-entered // opener is inside resolve; window exists
+	for i := 1; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			plans[i], leaves[i], joined[i] = co.enter(key, func() *abmm.Plan {
+				t.Error("joiner ran resolve")
+				return nil
+			})
+		}()
+	}
+	// Joiners can register (the coalescer lock is free during resolve)
+	// but block on the opener's once. Wait for all three to register.
+	for co.joined.Load() < 3 {
+		time.Sleep(time.Millisecond)
+	}
+	close(proceed)
+	wg.Wait()
+
+	if resolves != 1 {
+		t.Fatalf("resolve ran %d times, want 1", resolves)
+	}
+	if joined[0] {
+		t.Fatal("opener reported joined")
+	}
+	for i := 1; i < 4; i++ {
+		if plans[i] != plans[0] {
+			t.Fatalf("request %d got a different plan", i)
+		}
+		if !joined[i] {
+			t.Fatalf("request %d did not report joined", i)
+		}
+	}
+	if co.opened.Load() != 1 || co.joined.Load() != 3 {
+		t.Fatalf("counters opened=%d joined=%d, want 1/3", co.opened.Load(), co.joined.Load())
+	}
+	if co.open() != 1 {
+		t.Fatalf("open windows = %d, want 1", co.open())
+	}
+	for _, leave := range leaves {
+		leave()
+	}
+	if co.open() != 0 {
+		t.Fatalf("open windows after leave = %d, want 0", co.open())
+	}
+}
+
+func TestCoalesceDistinctShapes(t *testing.T) {
+	var co coalescer
+	alg, _ := abmm.Lookup("strassen")
+	mu := abmm.NewMultiplier(alg, abmm.Options{Levels: 1})
+	k1 := shapeKey{alg: "strassen", levels: 1, m: 4, k: 4, n: 4}
+	k2 := shapeKey{alg: "strassen", levels: 1, m: 8, k: 8, n: 8}
+	p1, l1, _ := co.enter(k1, func() *abmm.Plan { return mu.Plan(4, 4, 4) })
+	p2, l2, _ := co.enter(k2, func() *abmm.Plan { return mu.Plan(8, 8, 8) })
+	if p1 == p2 {
+		t.Fatal("distinct shapes shared a plan")
+	}
+	if co.opened.Load() != 2 || co.joined.Load() != 0 {
+		t.Fatalf("counters opened=%d joined=%d, want 2/0", co.opened.Load(), co.joined.Load())
+	}
+	l1()
+	l2()
+}

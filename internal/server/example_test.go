@@ -1,0 +1,52 @@
+package server_test
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"net/http"
+
+	"abmm"
+	"abmm/internal/server"
+)
+
+// ExampleServe runs the serving layer on a loopback port, multiplies a
+// pair of matrices over the binary wire format, and drains gracefully.
+func ExampleServe() {
+	srv, err := server.Serve("127.0.0.1:0", server.Config{
+		Algorithms: []string{"ours", "strassen"},
+	})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	defer srv.Shutdown(context.Background())
+
+	req := &server.Request{
+		Alg:    "ours",
+		Levels: server.LevelsAuto,
+		A:      abmm.FromRows([][]float64{{1, 2}, {3, 4}}),
+		B:      abmm.FromRows([][]float64{{5, 6}, {7, 8}}),
+	}
+	var body bytes.Buffer
+	if err := server.EncodeRequest(&body, req); err != nil {
+		fmt.Println(err)
+		return
+	}
+	resp, err := http.Post(srv.URL()+"/v1/multiply", server.ContentTypeBinary, &body)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	defer resp.Body.Close()
+	c, err := server.DecodeResponse(resp.Body, 1<<20)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println(c.Row(0))
+	fmt.Println(c.Row(1))
+	// Output:
+	// [19 22]
+	// [43 50]
+}

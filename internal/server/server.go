@@ -1,0 +1,635 @@
+// Package server is the HTTP serving layer over the multiply engine:
+// it turns the warm plan-cache/arena path that PRs 1–3 built into a
+// network service. Requests (binary row-major float64 frames or a JSON
+// echo mode for small matrices) are routed through shared
+// abmm.Multiplier instances keyed by (algorithm, levels), so every
+// request for a previously seen shape executes on the zero-alloc warm
+// path; concurrent same-shape requests coalesce into one plan window
+// (coalesce.go); a bounded admission gate sheds overload with 429 +
+// Retry-After (admission.go); and every request carries a deadline that
+// cancels the recursion cooperatively at node boundaries
+// (core.Plan.MultiplyIntoCtx). The observability surface mounts on the
+// same mux — one port serves /v1/* and /metrics — with the server's
+// own request/queue/admission metrics appended to the engine families.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"abmm"
+	"abmm/internal/obs"
+)
+
+// Config parametrizes a Server. The zero value serves: every catalog
+// algorithm, automatic recursion depth, one execution slot per two
+// logical CPUs, and conservative queue and size caps.
+type Config struct {
+	// Algorithms restricts the catalog names the server accepts; empty
+	// allows every name abmm.Names reports.
+	Algorithms []string
+	// Workers is the per-multiplication parallelism (0 = GOMAXPROCS).
+	Workers int
+	// MaxInFlight bounds concurrently executing multiplications; 0
+	// defaults to 2 (the engine parallelizes inside each execution, so
+	// a small count keeps the machine busy without cache thrash).
+	MaxInFlight int
+	// MaxQueued bounds requests waiting for an execution slot; 0
+	// defaults to 4 × MaxInFlight. Requests beyond the queue are
+	// rejected immediately with 429.
+	MaxQueued int
+	// QueueTimeout caps how long an admitted-to-queue request may wait
+	// for a slot before a 429; 0 defaults to 2s.
+	QueueTimeout time.Duration
+	// DefaultTimeout is the execution deadline applied when a request
+	// does not carry its own (header X-Abmm-Timeout or query
+	// ?timeout=); 0 means no default deadline.
+	DefaultTimeout time.Duration
+	// MaxElems bounds the element count of any operand or result; 0
+	// defaults to 16Mi elements (a 4096×4096 float64 matrix, 128 MiB).
+	MaxElems int
+	// MaxBodyBytes bounds a request body; 0 defaults to the bytes of
+	// two MaxElems operands plus framing.
+	MaxBodyBytes int64
+	// Collector receives engine and server telemetry; nil creates one.
+	Collector *abmm.Collector
+	// ErrorSampleEvery enables sampled accuracy telemetry on the shared
+	// multipliers (see abmm.Options.ErrorSampleEvery).
+	ErrorSampleEvery int
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxInFlight <= 0 {
+		c.MaxInFlight = 2
+	}
+	if c.MaxQueued <= 0 {
+		c.MaxQueued = 4 * c.MaxInFlight
+	}
+	if c.QueueTimeout <= 0 {
+		c.QueueTimeout = 2 * time.Second
+	}
+	if c.MaxElems <= 0 {
+		c.MaxElems = 16 << 20
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 2*8*int64(c.MaxElems) + 1024
+	}
+	if c.Collector == nil {
+		c.Collector = abmm.NewCollector()
+	}
+	if len(c.Algorithms) == 0 {
+		c.Algorithms = abmm.Names()
+	}
+	return c
+}
+
+// maxWireLevels caps the per-request recursion depth: beyond this the
+// multiplier registry (keyed by algorithm × levels) would be unbounded
+// attacker-controlled state, and no served shape benefits from more.
+const maxWireLevels = 8
+
+// muKey keys the shared-multiplier registry: one Multiplier per
+// (algorithm, requested levels), each holding its own per-shape plan
+// cache and arena pools shared across all requests.
+type muKey struct {
+	alg    string
+	levels int
+}
+
+// Server is the HTTP serving layer; construct with New, attach with
+// Handler or run with Start/Serve, stop with Shutdown (graceful) or
+// Close (abrupt).
+type Server struct {
+	cfg  Config
+	rec  *abmm.Collector
+	gate *gate
+	co   coalescer
+	algs map[string]bool
+
+	musMu sync.RWMutex
+	mus   map[muKey]*abmm.Multiplier
+
+	mux      *http.ServeMux
+	httpSrv  *http.Server
+	ln       net.Listener
+	draining atomic.Bool
+
+	reqDur    obs.Histogram // full request wall time, ns
+	queueWait obs.Histogram // admission wait, ns
+
+	codes            map[int]*atomic.Int64
+	codesOther       atomic.Int64
+	canceledClient   atomic.Int64
+	canceledDeadline atomic.Int64
+	panics           atomic.Int64
+}
+
+// trackedCodes are the response codes counted individually in
+// abmm_server_requests_total; anything else lands in code="other".
+var trackedCodes = []int{
+	http.StatusOK, http.StatusBadRequest, http.StatusNotFound,
+	http.StatusMethodNotAllowed, http.StatusRequestEntityTooLarge,
+	http.StatusTooManyRequests, statusClientClosedRequest,
+	http.StatusInternalServerError, http.StatusServiceUnavailable,
+	http.StatusGatewayTimeout,
+}
+
+// statusClientClosedRequest is the nginx-convention status logged when
+// the client abandoned the request (its context was canceled).
+const statusClientClosedRequest = 499
+
+// New builds a Server, validating that every configured algorithm
+// exists in the catalog.
+func New(cfg Config) (*Server, error) {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:  cfg,
+		rec:  cfg.Collector,
+		gate: newGate(cfg.MaxInFlight, cfg.MaxQueued, cfg.QueueTimeout),
+		algs: make(map[string]bool, len(cfg.Algorithms)),
+		mus:  make(map[muKey]*abmm.Multiplier),
+	}
+	for _, name := range cfg.Algorithms {
+		if _, err := abmm.Lookup(name); err != nil {
+			return nil, fmt.Errorf("server: %w", err)
+		}
+		s.algs[name] = true
+	}
+	s.codes = make(map[int]*atomic.Int64, len(trackedCodes))
+	for _, c := range trackedCodes {
+		s.codes[c] = new(atomic.Int64)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/multiply", s.handleMultiply)
+	mux.HandleFunc("/v1/algorithms", s.handleAlgorithms)
+	mux.HandleFunc("/healthz", s.handleHealth)
+	mux.HandleFunc("/", s.handleIndex)
+	abmm.MountStats(mux, s.rec, s.writeMetrics)
+	s.mux = mux
+	return s, nil
+}
+
+// Collector returns the stats collector shared by the engine and the
+// server, for report flushing on shutdown.
+func (s *Server) Collector() *abmm.Collector { return s.rec }
+
+// Handler returns the server's root handler: all routes behind the
+// panic-isolating wrapper. A handler panic answers 500 and increments
+// abmm_server_panics_total instead of killing the connection's
+// goroutine state or the process.
+func (s *Server) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			if v := recover(); v != nil {
+				s.panics.Add(1)
+				s.fail(w, http.StatusInternalServerError, fmt.Sprintf("internal error: %v", v))
+			}
+		}()
+		s.mux.ServeHTTP(w, r)
+	})
+}
+
+// Start binds addr (":0" picks a free port; read it back from Addr)
+// and serves in the background until Shutdown or Close.
+func (s *Server) Start(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	s.ln = ln
+	s.httpSrv = &http.Server{Handler: s.Handler()}
+	go s.httpSrv.Serve(ln)
+	return nil
+}
+
+// Serve is the one-call form: build a Server from cfg and Start it on
+// addr.
+func Serve(addr string, cfg Config) (*Server, error) {
+	s, err := New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if err := s.Start(addr); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// Addr returns the bound listen address (after Start).
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// URL returns the server's base URL (after Start).
+func (s *Server) URL() string { return "http://" + s.Addr() }
+
+// Shutdown drains gracefully: new multiplication requests are refused
+// with 503, idle connections close, and Shutdown returns when every
+// in-flight request has finished (or ctx expires). No admitted result
+// is dropped.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.draining.Store(true)
+	if s.httpSrv == nil {
+		return nil
+	}
+	return s.httpSrv.Shutdown(ctx)
+}
+
+// Close stops serving immediately, abandoning in-flight connections.
+func (s *Server) Close() error {
+	s.draining.Store(true)
+	if s.httpSrv == nil {
+		return nil
+	}
+	return s.httpSrv.Close()
+}
+
+// Draining reports whether the server has begun a graceful shutdown.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// multiplier returns (building on first use) the shared Multiplier for
+// one (algorithm, levels) pair. Sharing is the point: all requests for
+// a pair execute through one plan cache and one set of warm arenas.
+func (s *Server) multiplier(alg string, levels int) (*abmm.Multiplier, error) {
+	if !s.algs[alg] {
+		return nil, fmt.Errorf("unknown or disallowed algorithm %q", alg)
+	}
+	if levels < abmm.AutoLevels || levels > maxWireLevels {
+		return nil, fmt.Errorf("levels %d outside [%d, %d]", levels, abmm.AutoLevels, maxWireLevels)
+	}
+	key := muKey{alg: alg, levels: levels}
+	s.musMu.RLock()
+	mu := s.mus[key]
+	s.musMu.RUnlock()
+	if mu != nil {
+		return mu, nil
+	}
+	s.musMu.Lock()
+	defer s.musMu.Unlock()
+	if mu = s.mus[key]; mu == nil {
+		a, err := abmm.Lookup(alg)
+		if err != nil {
+			return nil, err
+		}
+		mu = abmm.NewMultiplier(a, abmm.Options{
+			Levels:           levels,
+			Workers:          s.cfg.Workers,
+			Recorder:         s.rec,
+			ErrorSampleEvery: s.cfg.ErrorSampleEvery,
+		})
+		s.mus[key] = mu
+	}
+	return mu, nil
+}
+
+// jsonRequest is the JSON echo mode of /v1/multiply, for small
+// matrices and by-hand curl use; the binary frame (wire.go) is the
+// production format.
+type jsonRequest struct {
+	Alg    string      `json:"alg"`
+	Levels *int        `json:"levels"` // nil = automatic depth
+	A      [][]float64 `json:"a"`
+	B      [][]float64 `json:"b"`
+}
+
+// jsonResponse mirrors the binary response plus the metadata that
+// travels in headers for binary clients.
+type jsonResponse struct {
+	C          [][]float64 `json:"c"`
+	Alg        string      `json:"alg"`
+	Levels     int         `json:"levels"`
+	QueueNs    int64       `json:"queue_ns"`
+	ExecNs     int64       `json:"exec_ns"`
+	ErrorBound float64     `json:"error_bound"`
+	Coalesced  bool        `json:"coalesced"`
+}
+
+func (s *Server) handleMultiply(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		s.fail(w, http.StatusMethodNotAllowed, "POST a multiplication request")
+		return
+	}
+	if s.draining.Load() {
+		s.fail(w, http.StatusServiceUnavailable, "server is draining")
+		return
+	}
+	start := time.Now()
+
+	isJSON := mediaType(r.Header.Get("Content-Type")) == "application/json"
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	var req *Request
+	var err error
+	if isJSON {
+		req, err = decodeJSONRequest(body, s.cfg.MaxElems)
+	} else {
+		req, err = DecodeRequest(body, s.cfg.MaxElems)
+	}
+	if err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			s.fail(w, http.StatusRequestEntityTooLarge, err.Error())
+		} else {
+			s.fail(w, http.StatusBadRequest, err.Error())
+		}
+		return
+	}
+	mu, err := s.multiplier(req.Alg, req.Levels)
+	if err != nil {
+		s.fail(w, http.StatusNotFound, err.Error())
+		return
+	}
+
+	// Deadline and cancellation: the request context already ends when
+	// the client disconnects; layer the explicit or default timeout on
+	// top. The same ctx gates queue wait and recursion.
+	ctx := r.Context()
+	timeout, err := requestTimeout(r, s.cfg.DefaultTimeout)
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+
+	release, err := s.gate.acquire(ctx)
+	if err != nil {
+		switch {
+		case errors.Is(err, errQueueFull), errors.Is(err, errQueueTimeout):
+			w.Header().Set("Retry-After", strconv.Itoa(s.gate.retryAfterSeconds()))
+			s.fail(w, http.StatusTooManyRequests, err.Error())
+		default:
+			s.failCtx(w, ctx)
+		}
+		return
+	}
+	defer release()
+	queueNs := time.Since(start).Nanoseconds()
+	s.queueWait.Observe(queueNs)
+
+	m, k, n := req.A.Rows, req.A.Cols, req.B.Cols
+	key := shapeKey{alg: req.Alg, levels: req.Levels, m: m, k: k, n: n}
+	plan, leave, joined := s.co.enter(key, func() *abmm.Plan {
+		return mu.Plan(m, k, n)
+	})
+	defer leave()
+
+	dst := abmm.NewMatrix(m, n)
+	execStart := time.Now()
+	if err := plan.MultiplyIntoCtx(ctx, dst, req.A, req.B); err != nil {
+		s.failCtx(w, ctx)
+		return
+	}
+	execNs := time.Since(execStart).Nanoseconds()
+
+	h := w.Header()
+	h.Set("X-Abmm-Alg", req.Alg)
+	h.Set("X-Abmm-Levels", strconv.Itoa(plan.Levels()))
+	h.Set("X-Abmm-Queue-Ns", strconv.FormatInt(queueNs, 10))
+	h.Set("X-Abmm-Exec-Ns", strconv.FormatInt(execNs, 10))
+	h.Set("X-Abmm-Error-Bound", strconv.FormatFloat(plan.ErrorBound(), 'g', -1, 64))
+	if joined {
+		h.Set("X-Abmm-Coalesced", "1")
+	}
+	if isJSON {
+		h.Set("Content-Type", "application/json")
+		resp := jsonResponse{
+			C: toRows(dst), Alg: req.Alg, Levels: plan.Levels(),
+			QueueNs: queueNs, ExecNs: execNs,
+			ErrorBound: plan.ErrorBound(), Coalesced: joined,
+		}
+		s.count(http.StatusOK)
+		json.NewEncoder(w).Encode(&resp)
+	} else {
+		h.Set("Content-Type", ContentTypeBinary)
+		s.count(http.StatusOK)
+		EncodeResponse(w, dst)
+	}
+	s.reqDur.Observe(time.Since(start).Nanoseconds())
+}
+
+func (s *Server) handleAlgorithms(w http.ResponseWriter, r *http.Request) {
+	type entry struct {
+		Name               string  `json:"name"`
+		AltBasis           bool    `json:"alt_basis"`
+		LeadingCoefficient float64 `json:"leading_coefficient"`
+		StabilityFactor    float64 `json:"stability_factor"`
+	}
+	names := make([]string, 0, len(s.algs))
+	for name := range s.algs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	out := make([]entry, 0, len(names))
+	for _, name := range names {
+		alg, err := abmm.Lookup(name)
+		if err != nil {
+			continue
+		}
+		info := abmm.InfoFor(alg)
+		out = append(out, entry{
+			Name: name, AltBasis: info.AltBasis,
+			LeadingCoefficient: info.LeadingCoefficient,
+			StabilityFactor:    info.StabilityFactor,
+		})
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(out)
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if s.draining.Load() {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		io.WriteString(w, "draining\n")
+		return
+	}
+	fmt.Fprintf(w, "ok in_flight=%d queued=%d\n", s.gate.inFlight.Load(), s.gate.queued.Load())
+}
+
+func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" {
+		http.NotFound(w, r)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	io.WriteString(w, `abmm serving layer
+
+POST /v1/multiply     multiply two matrices (binary frame or JSON)
+GET  /v1/algorithms   served algorithm catalog
+GET  /healthz         liveness + drain state
+GET  /metrics         Prometheus text format (engine + server families)
+GET  /debug/vars      expvar JSON
+GET  /debug/pprof     pprof profiles
+`)
+}
+
+// fail writes a plain-text error response and counts the status.
+func (s *Server) fail(w http.ResponseWriter, code int, msg string) {
+	s.count(code)
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	w.WriteHeader(code)
+	io.WriteString(w, msg+"\n")
+}
+
+// failCtx maps a done context to its status: 504 for an expired
+// deadline, 499 (client closed request) for a canceled one.
+func (s *Server) failCtx(w http.ResponseWriter, ctx context.Context) {
+	if errors.Is(ctx.Err(), context.DeadlineExceeded) {
+		s.canceledDeadline.Add(1)
+		s.fail(w, http.StatusGatewayTimeout, "deadline exceeded")
+		return
+	}
+	s.canceledClient.Add(1)
+	s.fail(w, statusClientClosedRequest, "client closed request")
+}
+
+func (s *Server) count(code int) {
+	if c, ok := s.codes[code]; ok {
+		c.Add(1)
+		return
+	}
+	s.codesOther.Add(1)
+}
+
+// writeMetrics appends the server's own metric families to a /metrics
+// scrape, after the engine families (see abmm.MountStats).
+func (s *Server) writeMetrics(w io.Writer) {
+	fmt.Fprintf(w, "# HELP abmm_server_requests_total Multiplication requests by response code.\n# TYPE abmm_server_requests_total counter\n")
+	codes := make([]int, 0, len(s.codes))
+	for code := range s.codes {
+		codes = append(codes, code)
+	}
+	sort.Ints(codes)
+	for _, code := range codes {
+		fmt.Fprintf(w, "abmm_server_requests_total{code=\"%d\"} %d\n", code, s.codes[code].Load())
+	}
+	fmt.Fprintf(w, "abmm_server_requests_total{code=\"other\"} %d\n", s.codesOther.Load())
+
+	fmt.Fprintf(w, "# HELP abmm_server_rejected_total Requests shed by admission control.\n# TYPE abmm_server_rejected_total counter\n")
+	fmt.Fprintf(w, "abmm_server_rejected_total{reason=\"queue_full\"} %d\n", s.gate.rejectedFull.Load())
+	fmt.Fprintf(w, "abmm_server_rejected_total{reason=\"queue_timeout\"} %d\n", s.gate.rejectedTimeout.Load())
+
+	fmt.Fprintf(w, "# HELP abmm_server_canceled_total Requests abandoned mid-flight.\n# TYPE abmm_server_canceled_total counter\n")
+	fmt.Fprintf(w, "abmm_server_canceled_total{cause=\"deadline\"} %d\n", s.canceledDeadline.Load())
+	fmt.Fprintf(w, "abmm_server_canceled_total{cause=\"client\"} %d\n", s.canceledClient.Load())
+
+	gauge := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, help, name, name, v)
+	}
+	counter := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	counter("abmm_server_admitted_total", "Requests that acquired an execution slot.", s.gate.admitted.Load())
+	counter("abmm_server_panics_total", "Handler panics caught by the isolation wrapper.", s.panics.Load())
+	gauge("abmm_server_in_flight", "Multiplications currently executing.", s.gate.inFlight.Load())
+	gauge("abmm_server_queue_depth", "Requests currently waiting for an execution slot.", s.gate.queued.Load())
+	gauge("abmm_server_queue_depth_peak", "High-water mark of the admission queue.", s.gate.queuedPeak.Load())
+	counter("abmm_server_coalesce_opened_total", "Plan execution windows opened.", s.co.opened.Load())
+	counter("abmm_server_coalesce_joined_total", "Requests that joined an open same-shape window.", s.co.joined.Load())
+	gauge("abmm_server_coalesce_windows_open", "Execution windows currently open.", int64(s.co.open()))
+	var draining int64
+	if s.draining.Load() {
+		draining = 1
+	}
+	gauge("abmm_server_draining", "1 while the server refuses new work to drain.", draining)
+
+	obs.WriteHistogram(w, "abmm_server_request_duration_seconds",
+		"Full request wall time (parse, queue, execute, encode) in seconds.", s.reqDur.Snapshot(), 1e-9)
+	obs.WriteHistogram(w, "abmm_server_queue_wait_seconds",
+		"Admission wait (parse to execution slot) in seconds.", s.queueWait.Snapshot(), 1e-9)
+}
+
+// decodeJSONRequest parses the JSON echo mode and validates it against
+// the same element caps as the binary frame.
+func decodeJSONRequest(r io.Reader, maxElems int) (*Request, error) {
+	var jr jsonRequest
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&jr); err != nil {
+		return nil, fmt.Errorf("invalid JSON request: %w", err)
+	}
+	m := len(jr.A)
+	if m == 0 || len(jr.A[0]) == 0 {
+		return nil, errors.New("invalid JSON request: empty matrix a")
+	}
+	k := len(jr.A[0])
+	if len(jr.B) != k || len(jr.B[0]) == 0 {
+		return nil, fmt.Errorf("invalid JSON request: b must have %d rows", k)
+	}
+	n := len(jr.B[0])
+	if err := checkShape(m, k, n, maxElems); err != nil {
+		return nil, err
+	}
+	for _, row := range jr.A {
+		if len(row) != k {
+			return nil, errors.New("invalid JSON request: ragged rows in a")
+		}
+	}
+	for _, row := range jr.B {
+		if len(row) != n {
+			return nil, errors.New("invalid JSON request: ragged rows in b")
+		}
+	}
+	levels := abmm.AutoLevels
+	if jr.Levels != nil {
+		levels = *jr.Levels
+	}
+	return &Request{
+		Alg:    jr.Alg,
+		Levels: levels,
+		A:      abmm.FromRows(jr.A),
+		B:      abmm.FromRows(jr.B),
+	}, nil
+}
+
+func toRows(m *abmm.Matrix) [][]float64 {
+	rows := make([][]float64, m.Rows)
+	for i := range rows {
+		rows[i] = append([]float64(nil), m.Row(i)...)
+	}
+	return rows
+}
+
+// requestTimeout resolves the execution deadline for one request: the
+// ?timeout= query parameter, then the X-Abmm-Timeout header, then the
+// server default. Zero means no explicit deadline.
+func requestTimeout(r *http.Request, def time.Duration) (time.Duration, error) {
+	raw := r.URL.Query().Get("timeout")
+	if raw == "" {
+		raw = r.Header.Get("X-Abmm-Timeout")
+	}
+	if raw == "" {
+		return def, nil
+	}
+	d, err := time.ParseDuration(raw)
+	if err != nil || d < 0 {
+		return 0, fmt.Errorf("invalid timeout %q", raw)
+	}
+	return d, nil
+}
+
+// mediaType strips Content-Type parameters (charset etc.) without
+// pulling in mime's error handling for the empty case.
+func mediaType(ct string) string {
+	for i := 0; i < len(ct); i++ {
+		if ct[i] == ';' {
+			ct = ct[:i]
+			break
+		}
+	}
+	for len(ct) > 0 && (ct[len(ct)-1] == ' ' || ct[len(ct)-1] == '\t') {
+		ct = ct[:len(ct)-1]
+	}
+	return ct
+}

@@ -1,0 +1,412 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"abmm"
+)
+
+func newTestServer(t *testing.T, cfg Config) *Server {
+	t.Helper()
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func binaryBody(t *testing.T, alg string, levels, m, k, n int) (*Request, *bytes.Buffer) {
+	t.Helper()
+	req := &Request{Alg: alg, Levels: levels, A: testMatrix(m, k, 1), B: testMatrix(k, n, -1)}
+	var buf bytes.Buffer
+	if err := EncodeRequest(&buf, req); err != nil {
+		t.Fatal(err)
+	}
+	return req, &buf
+}
+
+func postMultiply(ts *httptest.Server, body io.Reader, contentType string) (*http.Response, error) {
+	return ts.Client().Post(ts.URL+"/v1/multiply", contentType, body)
+}
+
+func TestServerBinaryRoundTrip(t *testing.T) {
+	s := newTestServer(t, Config{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	req, body := binaryBody(t, "ours", 1, 16, 24, 8)
+	resp, err := postMultiply(ts, body, ContentTypeBinary)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(resp.Body)
+		t.Fatalf("status %d: %s", resp.StatusCode, msg)
+	}
+	for _, h := range []string{"X-Abmm-Alg", "X-Abmm-Levels", "X-Abmm-Exec-Ns", "X-Abmm-Error-Bound"} {
+		if resp.Header.Get(h) == "" {
+			t.Errorf("missing response header %s", h)
+		}
+	}
+	got, err := DecodeResponse(resp.Body, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := abmm.MultiplyClassical(req.A, req.B, 0)
+	if got.Rows != want.Rows || got.Cols != want.Cols {
+		t.Fatalf("shape %dx%d, want %dx%d", got.Rows, got.Cols, want.Rows, want.Cols)
+	}
+	for i := range want.Data {
+		if d := got.Data[i] - want.Data[i]; d > 1e-6 || d < -1e-6 {
+			t.Fatalf("c[%d] = %v, want %v", i, got.Data[i], want.Data[i])
+		}
+	}
+}
+
+func TestServerJSONEcho(t *testing.T) {
+	s := newTestServer(t, Config{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	body := `{"alg":"strassen","a":[[1,2],[3,4]],"b":[[5,6],[7,8]]}`
+	resp, err := postMultiply(ts, strings.NewReader(body), "application/json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(resp.Body)
+		t.Fatalf("status %d: %s", resp.StatusCode, msg)
+	}
+	var out jsonResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	want := [][]float64{{19, 22}, {43, 50}}
+	for i := range want {
+		for j := range want[i] {
+			// Small integer-valued product: exact equality is the point.
+			//abmm:allow float-discipline
+			if out.C[i][j] != want[i][j] {
+				t.Fatalf("c[%d][%d] = %v, want %v", i, j, out.C[i][j], want[i][j])
+			}
+		}
+	}
+	if out.Alg != "strassen" {
+		t.Fatalf("alg %q", out.Alg)
+	}
+}
+
+func TestServerRejectsBadRequests(t *testing.T) {
+	s := newTestServer(t, Config{MaxElems: 1 << 10})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	cases := []struct {
+		name, ct, body string
+		want           int
+	}{
+		{"unknown alg", "application/json", `{"alg":"nope","a":[[1]],"b":[[1]]}`, http.StatusNotFound},
+		{"ragged rows", "application/json", `{"alg":"ours","a":[[1,2],[3]],"b":[[1],[2]]}`, http.StatusBadRequest},
+		{"garbage binary", ContentTypeBinary, "not a frame at all", http.StatusBadRequest},
+		{"bad timeout", "application/json", `{"alg":"ours","a":[[1]],"b":[[1]]}`, http.StatusBadRequest},
+	}
+	for _, tc := range cases {
+		url := ts.URL + "/v1/multiply"
+		if tc.name == "bad timeout" {
+			url += "?timeout=bogus"
+		}
+		resp, err := ts.Client().Post(url, tc.ct, strings.NewReader(tc.body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != tc.want {
+			t.Errorf("%s: status %d, want %d", tc.name, resp.StatusCode, tc.want)
+		}
+	}
+
+	resp, err := ts.Client().Get(ts.URL + "/v1/multiply")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET multiply: status %d, want 405", resp.StatusCode)
+	}
+}
+
+// TestServerOverload drives the admission gate deterministically: with
+// one execution slot held and a one-deep queue occupied, the next
+// request must bounce with 429 + Retry-After, the queue-depth gauge
+// must have moved, and no admitted request may lose its result.
+func TestServerOverload(t *testing.T) {
+	s := newTestServer(t, Config{MaxInFlight: 1, MaxQueued: 1, QueueTimeout: 5 * time.Second})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	// Occupy the only execution slot directly.
+	release, err := s.gate.acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// One request sits in the queue...
+	queued := make(chan *http.Response, 1)
+	go func() {
+		_, body := binaryBody(t, "ours", 1, 8, 8, 8)
+		resp, err := postMultiply(ts, body, ContentTypeBinary)
+		if err != nil {
+			t.Error(err)
+			queued <- nil
+			return
+		}
+		queued <- resp
+	}()
+	for s.gate.queued.Load() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+
+	// ...so the next one is shed immediately.
+	_, body := binaryBody(t, "ours", 1, 8, 8, 8)
+	resp, err := postMultiply(ts, body, ContentTypeBinary)
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status %d (%s), want 429", resp.StatusCode, msg)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("429 without Retry-After")
+	}
+
+	// The gauges and counters saw the episode.
+	if got := s.gate.queuedPeak.Load(); got < 1 {
+		t.Errorf("queuedPeak = %d, want >= 1", got)
+	}
+	if got := s.gate.rejectedFull.Load(); got != 1 {
+		t.Errorf("rejectedFull = %d, want 1", got)
+	}
+
+	// Freeing the slot drains the queued request to a full result: shed
+	// load costs the shedder only, never an admitted request.
+	release()
+	qresp := <-queued
+	if qresp == nil {
+		t.Fatal("queued request failed")
+	}
+	defer qresp.Body.Close()
+	if qresp.StatusCode != http.StatusOK {
+		t.Fatalf("queued request status %d, want 200", qresp.StatusCode)
+	}
+	if _, err := DecodeResponse(qresp.Body, 1<<20); err != nil {
+		t.Fatalf("queued request result: %v", err)
+	}
+
+	// The metrics endpoint reports the same story.
+	mresp, err := ts.Client().Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	metrics, _ := io.ReadAll(mresp.Body)
+	mresp.Body.Close()
+	for _, want := range []string{
+		`abmm_server_rejected_total{reason="queue_full"} 1`,
+		`abmm_server_queue_depth_peak 1`,
+		`abmm_server_requests_total{code="429"} 1`,
+		`abmm_server_requests_total{code="200"} 1`,
+	} {
+		if !strings.Contains(string(metrics), want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+}
+
+// TestServerConcurrentSameShape hammers one shape through the shared
+// Multiplier from many goroutines; run under -race this pins the
+// concurrency contract of plan sharing and window coalescing.
+func TestServerConcurrentSameShape(t *testing.T) {
+	s := newTestServer(t, Config{MaxInFlight: 4, MaxQueued: 64, QueueTimeout: 30 * time.Second})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	const clients = 16
+	req := &Request{Alg: "ours", Levels: 1, A: testMatrix(32, 32, 1), B: testMatrix(32, 32, -1)}
+	want := abmm.MultiplyClassical(req.A, req.B, 0)
+
+	var wg sync.WaitGroup
+	errs := make(chan error, clients)
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var buf bytes.Buffer
+			if err := EncodeRequest(&buf, req); err != nil {
+				errs <- err
+				return
+			}
+			resp, err := postMultiply(ts, &buf, ContentTypeBinary)
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				msg, _ := io.ReadAll(resp.Body)
+				errs <- fmt.Errorf("status %d: %s", resp.StatusCode, msg)
+				return
+			}
+			got, err := DecodeResponse(resp.Body, 1<<20)
+			if err != nil {
+				errs <- err
+				return
+			}
+			for j := range want.Data {
+				if d := got.Data[j] - want.Data[j]; d > 1e-8 || d < -1e-8 {
+					errs <- fmt.Errorf("element %d: %v != %v", j, got.Data[j], want.Data[j])
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	// Exactly one Multiplier and (by shape) one plan served them all.
+	s.musMu.RLock()
+	mus := len(s.mus)
+	s.musMu.RUnlock()
+	if mus != 1 {
+		t.Errorf("multiplier registry holds %d entries, want 1", mus)
+	}
+}
+
+func TestServerDrainRefusesNewWork(t *testing.T) {
+	s := newTestServer(t, Config{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	if resp, err := ts.Client().Get(ts.URL + "/healthz"); err != nil {
+		t.Fatal(err)
+	} else {
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("healthz before drain: %d", resp.StatusCode)
+		}
+	}
+
+	s.draining.Store(true)
+
+	_, body := binaryBody(t, "ours", 1, 8, 8, 8)
+	resp, err := postMultiply(ts, body, ContentTypeBinary)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("multiply while draining: status %d, want 503", resp.StatusCode)
+	}
+	hresp, err := ts.Client().Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hresp.Body.Close()
+	if hresp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("healthz while draining: status %d, want 503", hresp.StatusCode)
+	}
+}
+
+func TestServerPanicIsolation(t *testing.T) {
+	s := newTestServer(t, Config{})
+	// Splice a panicking route into the mux behind the wrapper.
+	s.mux.HandleFunc("/boom", func(http.ResponseWriter, *http.Request) {
+		panic("kaboom")
+	})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	resp, err := ts.Client().Get(ts.URL + "/boom")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("status %d, want 500", resp.StatusCode)
+	}
+	if got := s.panics.Load(); got != 1 {
+		t.Fatalf("panics counter = %d, want 1", got)
+	}
+	// The server still works afterwards.
+	_, body := binaryBody(t, "ours", 1, 8, 8, 8)
+	ok, err := postMultiply(ts, body, ContentTypeBinary)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok.Body.Close()
+	if ok.StatusCode != http.StatusOK {
+		t.Fatalf("post-panic multiply: status %d", ok.StatusCode)
+	}
+}
+
+func TestServerDeadlineExceeded(t *testing.T) {
+	if testing.Short() {
+		t.Skip("drives a large multiply")
+	}
+	s := newTestServer(t, Config{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	_, body := binaryBody(t, "ours", 2, 1024, 1024, 1024)
+	resp, err := ts.Client().Post(ts.URL+"/v1/multiply?timeout=1ms", ContentTypeBinary, body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("status %d, want 504", resp.StatusCode)
+	}
+	if got := s.canceledDeadline.Load(); got != 1 {
+		t.Fatalf("canceledDeadline = %d, want 1", got)
+	}
+}
+
+func TestServerLifecycle(t *testing.T) {
+	srv, err := Serve("127.0.0.1:0", Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get(srv.URL() + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: %d", resp.StatusCode)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	if !srv.Draining() {
+		t.Fatal("not draining after Shutdown")
+	}
+	if _, err := http.Get(srv.URL() + "/healthz"); err == nil {
+		t.Fatal("server still accepting after Shutdown")
+	}
+}

@@ -1,0 +1,222 @@
+package server
+
+// Binary wire format. A multiplication request is a small framed
+// header followed by the two operands as row-major float64 payloads;
+// the response is a framed header followed by the product. All integers
+// and floats are little-endian — the native order of every platform the
+// pure-Go kernels target — so a same-architecture client can assemble a
+// request with a handful of appends and no per-element byte swapping in
+// its own buffers.
+//
+//	request  = "ABM1" | algLen u8 | alg [algLen]byte | levels i8 |
+//	           m u32 | k u32 | n u32 | a [m*k]f64 | b [k*n]f64
+//	response = "ABMR" | m u32 | n u32 | c [m*n]f64
+//
+// levels is the recursion depth; LevelsAuto (-1) requests automatic
+// selection. Request metadata that is not part of the product —
+// latency, compiled depth, the plan's error bound — travels in HTTP
+// response headers (see server.go) so the payload stays a pure matrix.
+// JSON request/response bodies are the small-matrix echo alternative;
+// see jsonRequest in server.go.
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+
+	"abmm"
+)
+
+// ContentTypeBinary is the Content-Type of binary-framed multiplication
+// requests and responses.
+const ContentTypeBinary = "application/x-abmm-matrix"
+
+// LevelsAuto is the wire levels value requesting automatic
+// recursion-depth selection (abmm.AutoLevels).
+const LevelsAuto = -1
+
+var (
+	reqMagic  = [4]byte{'A', 'B', 'M', '1'}
+	respMagic = [4]byte{'A', 'B', 'M', 'R'}
+)
+
+// ErrFrame reports a malformed or truncated wire frame.
+var ErrFrame = errors.New("server: malformed wire frame")
+
+// Request is one decoded multiplication request: multiply A (m×k) by
+// B (k×n) with the named catalog algorithm at the given recursion
+// depth (LevelsAuto for automatic).
+type Request struct {
+	Alg    string
+	Levels int
+	A, B   *abmm.Matrix
+}
+
+// wireChunk is the streaming buffer size for float payloads: large
+// enough to amortize io calls, small enough to stay cache-friendly.
+const wireChunk = 4096 * 8
+
+// EncodeRequest writes req in the binary wire format.
+func EncodeRequest(w io.Writer, req *Request) error {
+	if len(req.Alg) > 255 {
+		return fmt.Errorf("server: algorithm name %q too long", req.Alg)
+	}
+	if req.A.Cols != req.B.Rows {
+		return fmt.Errorf("server: shapes %dx%d and %dx%d do not conform",
+			req.A.Rows, req.A.Cols, req.B.Rows, req.B.Cols)
+	}
+	hdr := make([]byte, 0, 4+1+len(req.Alg)+1+12)
+	hdr = append(hdr, reqMagic[:]...)
+	hdr = append(hdr, byte(len(req.Alg)))
+	hdr = append(hdr, req.Alg...)
+	hdr = append(hdr, byte(int8(req.Levels)))
+	hdr = binary.LittleEndian.AppendUint32(hdr, uint32(req.A.Rows))
+	hdr = binary.LittleEndian.AppendUint32(hdr, uint32(req.A.Cols))
+	hdr = binary.LittleEndian.AppendUint32(hdr, uint32(req.B.Cols))
+	if _, err := w.Write(hdr); err != nil {
+		return err
+	}
+	if err := writeMatrix(w, req.A); err != nil {
+		return err
+	}
+	return writeMatrix(w, req.B)
+}
+
+// DecodeRequest reads one binary request from r. maxElems bounds the
+// element count of any single operand or the result; a frame that
+// announces more is rejected before its payload is read.
+func DecodeRequest(r io.Reader, maxElems int) (*Request, error) {
+	var fixed [6]byte // magic + algLen + at least 1 more byte pending
+	if _, err := io.ReadFull(r, fixed[:5]); err != nil {
+		return nil, frameErr(err)
+	}
+	if [4]byte(fixed[:4]) != reqMagic {
+		return nil, fmt.Errorf("%w: bad magic %q", ErrFrame, fixed[:4])
+	}
+	algBuf := make([]byte, int(fixed[4])+1+12)
+	if _, err := io.ReadFull(r, algBuf); err != nil {
+		return nil, frameErr(err)
+	}
+	alg := string(algBuf[:fixed[4]])
+	rest := algBuf[fixed[4]:]
+	levels := int(int8(rest[0]))
+	m := int(binary.LittleEndian.Uint32(rest[1:5]))
+	k := int(binary.LittleEndian.Uint32(rest[5:9]))
+	n := int(binary.LittleEndian.Uint32(rest[9:13]))
+	if err := checkShape(m, k, n, maxElems); err != nil {
+		return nil, err
+	}
+	a, b := abmm.NewMatrix(m, k), abmm.NewMatrix(k, n)
+	if err := readFloats(r, a.Data); err != nil {
+		return nil, err
+	}
+	if err := readFloats(r, b.Data); err != nil {
+		return nil, err
+	}
+	return &Request{Alg: alg, Levels: levels, A: a, B: b}, nil
+}
+
+// EncodeResponse writes the product in the binary wire format.
+func EncodeResponse(w io.Writer, c *abmm.Matrix) error {
+	var hdr [12]byte
+	copy(hdr[:4], respMagic[:])
+	binary.LittleEndian.PutUint32(hdr[4:8], uint32(c.Rows))
+	binary.LittleEndian.PutUint32(hdr[8:12], uint32(c.Cols))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	return writeMatrix(w, c)
+}
+
+// DecodeResponse reads one binary response from r. maxElems bounds the
+// announced result size, as in DecodeRequest.
+func DecodeResponse(r io.Reader, maxElems int) (*abmm.Matrix, error) {
+	var hdr [12]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, frameErr(err)
+	}
+	if [4]byte(hdr[:4]) != respMagic {
+		return nil, fmt.Errorf("%w: bad magic %q", ErrFrame, hdr[:4])
+	}
+	m := int(binary.LittleEndian.Uint32(hdr[4:8]))
+	n := int(binary.LittleEndian.Uint32(hdr[8:12]))
+	if m < 0 || n < 0 || (n > 0 && m > maxElems/max(n, 1)) {
+		return nil, fmt.Errorf("%w: result %dx%d exceeds element cap %d", ErrFrame, m, n, maxElems)
+	}
+	c := abmm.NewMatrix(m, n)
+	if err := readFloats(r, c.Data); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// RequestWireSize returns the exact encoded byte length of a request,
+// for Content-Length headers and admission-time body caps.
+func RequestWireSize(req *Request) int64 {
+	return int64(4+1+len(req.Alg)+1+12) + 8*int64(req.A.Rows*req.A.Cols+req.B.Rows*req.B.Cols)
+}
+
+func checkShape(m, k, n, maxElems int) error {
+	if m <= 0 || k <= 0 || n <= 0 {
+		return fmt.Errorf("%w: non-positive shape %dx%d·%dx%d", ErrFrame, m, k, k, n)
+	}
+	for _, d := range [3][2]int{{m, k}, {k, n}, {m, n}} {
+		if d[0] > maxElems/d[1] {
+			return fmt.Errorf("%w: operand %dx%d exceeds element cap %d", ErrFrame, d[0], d[1], maxElems)
+		}
+	}
+	return nil
+}
+
+func frameErr(err error) error {
+	if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+		return fmt.Errorf("%w: truncated frame", ErrFrame)
+	}
+	return err
+}
+
+// writeMatrix streams a matrix row-major as little-endian float64s,
+// chunked through one scratch buffer (views with a stride are handled
+// row by row).
+func writeMatrix(w io.Writer, m *abmm.Matrix) error {
+	buf := make([]byte, 0, wireChunk)
+	for i := 0; i < m.Rows; i++ {
+		for _, v := range m.Row(i) {
+			buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(v))
+			if len(buf) == wireChunk {
+				if _, err := w.Write(buf); err != nil {
+					return err
+				}
+				buf = buf[:0]
+			}
+		}
+	}
+	if len(buf) > 0 {
+		if _, err := w.Write(buf); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// readFloats fills dst from r, decoding little-endian float64s through
+// one chunk buffer.
+func readFloats(r io.Reader, dst []float64) error {
+	buf := make([]byte, wireChunk)
+	for len(dst) > 0 {
+		want := len(dst) * 8
+		if want > len(buf) {
+			want = len(buf)
+		}
+		if _, err := io.ReadFull(r, buf[:want]); err != nil {
+			return frameErr(err)
+		}
+		for o := 0; o < want; o += 8 {
+			dst[0] = math.Float64frombits(binary.LittleEndian.Uint64(buf[o : o+8]))
+			dst = dst[1:]
+		}
+	}
+	return nil
+}
