@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet lint bench bench-json bench-compare serve-smoke trace-demo clean
+.PHONY: all build test race vet lint bench kernel-bench bench-json bench-compare serve-smoke trace-demo clean
 
 all: build vet test lint
 
@@ -22,7 +22,7 @@ test:
 # `make lint` runs directly).
 race:
 	$(GO) test -race -short -run 'TestMultiplierConcurrent|TestMultiplyIntoPadded|TestMultiplierStats' .
-	$(GO) test -race -short ./internal/core/... ./internal/bilinear/... ./internal/basis/... ./internal/pool/... ./internal/obs/... ./internal/lint/... ./internal/server/...
+	$(GO) test -race -short ./internal/core/... ./internal/bilinear/... ./internal/basis/... ./internal/kernel/... ./internal/pool/... ./internal/obs/... ./internal/lint/... ./internal/server/...
 
 vet:
 	$(GO) vet ./...
@@ -39,14 +39,22 @@ lint:
 bench:
 	$(GO) test -run xxx -bench 'BenchmarkMultiplyInto' -benchmem .
 
+# Base-case kernel benchmarks: packed register-tiled kernel vs the
+# blocked reference loop (ns/op, GFLOPS via -benchmem MB/s, allocs).
+# The full trajectory version (durable JSON cells at 256/1024/4096) is
+# `make bench-json`; this is the quick in-place comparison.
+kernel-bench:
+	$(GO) test -run xxx -bench 'BenchmarkBaseCase' -benchmem ./internal/kernel/
+
 # Durable benchmark trajectory (cmd/bench): run the fixed matrix and
-# write the next BENCH_<k>.json, or re-run and diff against the
-# committed BENCH_0.json baseline (nonzero exit on regression).
+# write the next BENCH_<k>.json, or re-run and diff against the newest
+# committed baseline — BENCH_1.json, which includes the kernel-level
+# cells — with nonzero exit on regression. CI runs bench-compare.
 bench-json:
 	$(GO) run ./cmd/bench
 
 bench-compare:
-	$(GO) run ./cmd/bench -o /tmp/abmm-bench-head.json -compare BENCH_0.json
+	$(GO) run ./cmd/bench -o /tmp/abmm-bench-head.json -compare BENCH_1.json
 
 # End-to-end serving smoke test: build abmmd, drive it with loadgen for
 # a few seconds over a small shape mix, require at least one success

@@ -40,6 +40,7 @@ func main() {
 		replay    = flag.String("replay", "", "skip benchmarking and load results from this BENCH json (diff two files with -compare)")
 		threshold = flag.Float64("threshold", bench.DefaultThreshold, "relative ns/op slowdown tolerated as noise")
 		quick     = flag.Bool("quick", false, "use the seconds-scale smoke matrix (64,128 × 1 level × 1 worker)")
+		kernel    = flag.String("kernel-sizes", "", "comma-separated base-case sizes for raw kernel cells (default 256,1024,4096; 'none' disables)")
 	)
 	flag.Parse()
 
@@ -52,8 +53,8 @@ func main() {
 	if *threshold <= 0 {
 		usageErr("-threshold must be positive, got %g", *threshold)
 	}
-	if *replay != "" && (*algName != "" || *sizes != "" || *levels != "" || *workers != "" || *reps != 0 || *quick) {
-		usageErr("-replay loads existing results; matrix flags (-alg/-sizes/-levels/-workers/-reps/-quick) do not apply")
+	if *replay != "" && (*algName != "" || *sizes != "" || *levels != "" || *workers != "" || *reps != 0 || *quick || *kernel != "") {
+		usageErr("-replay loads existing results; matrix flags (-alg/-sizes/-levels/-workers/-reps/-quick/-kernel-sizes) do not apply")
 	}
 
 	cfg := bench.DefaultConfig()
@@ -77,6 +78,11 @@ func main() {
 	}
 	if *reps > 0 {
 		cfg.Reps = *reps
+	}
+	if *kernel == "none" {
+		cfg.KernelSizes = nil
+	} else if *kernel != "" {
+		cfg.KernelSizes = parseInts("kernel-sizes", *kernel, 1)
 	}
 
 	var f *bench.File

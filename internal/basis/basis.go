@@ -119,8 +119,10 @@ func (t *Transform) Apply(in *matrix.Matrix, level, workers int) *matrix.Matrix 
 }
 
 // ApplyInto computes φ^level on src, writing the result into dst (which
-// must have D₂^level base blocks of src's base shape) and drawing all
-// scratch from al. dst may be dirty scratch; every element is written.
+// must have D₂^level base blocks of src's base shape and must not alias
+// src — the leaf level combines straight out of src while writing dst)
+// and drawing all scratch from al. dst may be dirty scratch; every
+// element is written.
 //abmm:hotpath
 func (t *Transform) ApplyInto(dst, src *matrix.Matrix, level, workers int, al pool.Allocator) {
 	t.ApplyIntoCancel(dst, src, level, workers, al, nil)
@@ -152,6 +154,41 @@ func (t *Transform) apply(dst, src *matrix.Matrix, level, workers int, al pool.A
 	}
 	sh := src.Rows / t.D1
 	dh := dst.Rows / t.D2
+	if level == 1 {
+		// Leaf fold: the level-0 sub-transforms are identity copies, so
+		// the output groups combine directly from views of the source
+		// groups, skipping D₁ block copies — one full pass over the
+		// operand per recursion leaf that the unfolded recursion paid
+		// for nothing. Bitwise identical to the unfolded step (the same
+		// LinearCombine over the same values); requires dst not to
+		// alias src, which ApplyInto's contract guarantees.
+		srcGroups := al.Mats(t.D1)
+		for i := range srcGroups {
+			h := al.Hdr()
+			src.ViewInto(h, i*sh, 0, sh, src.Cols)
+			srcGroups[i] = h
+		}
+		if workers == 1 {
+			dv := al.Hdr()
+			for j := 0; j < t.D2; j++ {
+				dst.ViewInto(dv, j*dh, 0, dh, dst.Cols)
+				matrix.LinearCombine(dv, t.cols[j], srcGroups, 1)
+			}
+			al.PutHdr(dv)
+		} else {
+			parallel.For(t.D2, workers, 1, func(j int) {
+				dv := al.Hdr()
+				dst.ViewInto(dv, j*dh, 0, dh, dst.Cols)
+				matrix.LinearCombine(dv, t.cols[j], srcGroups, 1)
+				al.PutHdr(dv)
+			})
+		}
+		for _, h := range srcGroups {
+			al.PutHdr(h)
+		}
+		al.PutMats(srcGroups)
+		return
+	}
 	// Recursively transform each input group into scratch, then
 	// combine scratch groups into the output groups. The recursion
 	// order follows Definition II.1 (transform sub-vectors first).

@@ -33,6 +33,11 @@ type Config struct {
 	Levels  []int
 	Workers []int // 0 means GOMAXPROCS
 	Reps    int   // timed repetitions per cell; best-of is reported
+
+	// KernelSizes adds base-case cells (see kernel.go): raw
+	// single-thread packed-kernel and blocked-loop multiplies at these
+	// n, outside the recursion machinery. Empty runs none.
+	KernelSizes []int
 }
 
 // DefaultConfig is the fixed matrix cmd/bench runs when no overrides
@@ -41,17 +46,19 @@ type Config struct {
 // cell) finishes in tens of seconds on a laptop.
 func DefaultConfig() Config {
 	return Config{
-		Alg:     "ours",
-		Sizes:   []int{256, 512},
-		Levels:  []int{1, 2},
-		Workers: []int{1, 0},
-		Reps:    5,
+		Alg:         "ours",
+		Sizes:       []int{256, 512},
+		Levels:      []int{1, 2},
+		Workers:     []int{1, 0},
+		Reps:        5,
+		KernelSizes: DefaultKernelSizes(),
 	}
 }
 
 // QuickConfig is a seconds-scale smoke matrix for CI and tests.
 func QuickConfig() Config {
-	return Config{Alg: "ours", Sizes: []int{64, 128}, Levels: []int{1}, Workers: []int{1}, Reps: 3}
+	return Config{Alg: "ours", Sizes: []int{64, 128}, Levels: []int{1}, Workers: []int{1}, Reps: 3,
+		KernelSizes: []int{128}}
 }
 
 // Cell is the measurement for one configuration.
@@ -121,6 +128,7 @@ func Run(cfg Config) (*File, error) {
 			}
 		}
 	}
+	f.Cells = append(f.Cells, runKernelCells(cfg.KernelSizes, cfg.Reps)...)
 	return f, nil
 }
 

@@ -40,6 +40,42 @@ func TestRunTinyMatrix(t *testing.T) {
 	}
 }
 
+func TestRunKernelCells(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.KernelSizes = []int{48}
+	f, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One matrix cell plus both kernel variants (48 ≤ blockedKernelCap).
+	if len(f.Cells) != 3 {
+		t.Fatalf("expected 3 cells, got %d", len(f.Cells))
+	}
+	for _, key := range []string{"kernel-packed/n=48/L=0/w=1", "kernel-blocked/n=48/L=0/w=1"} {
+		found := false
+		for _, c := range f.Cells {
+			if c.Key() != key {
+				continue
+			}
+			found = true
+			if !(c.NsPerOp > 0) || !(c.GFLOPS > 0) {
+				t.Errorf("%s: timing fields not populated: %+v", key, c)
+			}
+			if c.MaxRelError != 0 || c.BoundRatio != 0 {
+				t.Errorf("%s: kernel cells sample no error, got %+v", key, c)
+			}
+		}
+		if !found {
+			t.Errorf("cell %s missing", key)
+		}
+	}
+	// Beyond the cap only the packed variant runs.
+	cells := runKernelCells([]int{blockedKernelCap + 4}, 1)
+	if len(cells) != 1 || cells[0].Alg != "kernel-packed" {
+		t.Fatalf("above cap want packed only, got %+v", cells)
+	}
+}
+
 func TestRunRejectsUnknownAlgorithm(t *testing.T) {
 	cfg := tinyConfig()
 	cfg.Alg = "no-such-algorithm"

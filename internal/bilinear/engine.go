@@ -6,6 +6,7 @@ import (
 	"runtime/trace"
 	"sync"
 
+	"abmm/internal/kernel"
 	"abmm/internal/matrix"
 	"abmm/internal/obs"
 	"abmm/internal/parallel"
@@ -32,8 +33,18 @@ type Options struct {
 	// serves as the memory-lean mode and as an ablation point.
 	Direct bool
 	// Recorder, when non-nil, receives task spawn/inline events from
-	// the task-parallel schedules; nil disables recording at zero cost.
+	// the task-parallel schedules and nested pack/kernel phase spans
+	// from the base-case kernel; nil disables recording at zero cost.
 	Recorder obs.Recorder
+	// Kernel carries the packed base-case kernel's cache-blocking
+	// parameters; the zero value selects kernel.DefaultBlocking.
+	Kernel kernel.Blocking
+	// NoFuse disables the fused leaf step: the last recursion level runs
+	// the ordinary materialize-then-multiply schedule instead of folding
+	// the encode/decode combinations into the kernel's pack and
+	// write-out passes. Ablation and bisection aid; the fused step is
+	// the default.
+	NoFuse bool
 }
 
 func (o Options) workers() int { return parallel.Resolve(o.Workers) }
@@ -71,6 +82,10 @@ type Engine struct {
 	levels int
 	cols   map[*Spec]*specCols
 	rec    obs.Recorder
+	// kb is the base-case kernel blocking; fuse selects the fused leaf
+	// step at level 1 (see fused.go).
+	kb   kernel.Blocking
+	fuse bool
 	// regionNames[level] names the runtime/trace region of a recursion
 	// node at that level (level counts down toward the base case at 0).
 	regionNames []string
@@ -120,7 +135,10 @@ func NewEngine(s *Spec, opt Options, levels int) *Engine {
 	if levels < 0 {
 		panic("bilinear: negative recursion depth")
 	}
-	e := &Engine{s: s, workers: opt.workers(), kernelWorkers: opt.workers(), direct: opt.Direct, rec: opt.Recorder}
+	e := &Engine{
+		s: s, workers: opt.workers(), kernelWorkers: opt.workers(),
+		direct: opt.Direct, rec: opt.Recorder, kb: opt.Kernel, fuse: !opt.NoFuse,
+	}
 	e.regionNames = make([]string, levels+1)
 	for l := 1; l <= levels; l++ {
 		e.regionNames[l] = fmt.Sprintf("bilinear.L%d", l)
@@ -213,7 +231,17 @@ func (e *Engine) recurse(c, a, b *matrix.Matrix, level int, al pool.Allocator, c
 		defer trace.StartRegion(context.Background(), e.regionNames[level]).End()
 	}
 	if level == 0 {
-		matrix.Mul(c, a, b, e.kernelWorkers)
+		kernel.Mul(c, a, b, e.kb, e.kernelWorkers, al, e.rec)
+		return
+	}
+	// The last recursion level collapses into fused packed-kernel calls
+	// (encode during packing, decode during write-out; see fused.go).
+	// This holds for every schedule — task-parallel runs spawn their
+	// tasks at levels >= 2 and each subtree bottoms out here — so the
+	// bitwise result is schedule-independent, as the determinism tests
+	// pin.
+	if level == 1 && e.fuse {
+		e.fusedStep(c, a, b, al, cn)
 		return
 	}
 	if !e.direct {

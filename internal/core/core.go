@@ -16,6 +16,7 @@ import (
 	"fmt"
 
 	"abmm/internal/algos"
+	"abmm/internal/kernel"
 	"abmm/internal/matrix"
 	"abmm/internal/obs"
 	"abmm/internal/parallel"
@@ -37,6 +38,15 @@ type Options struct {
 	// bilinear.Options.
 	TaskParallel bool
 	Direct       bool
+	// Kernel overrides the packed base-case kernel's cache-blocking
+	// parameters (mc/kc/nc); the zero value selects
+	// kernel.DefaultBlocking. See DESIGN.md §2e for selection guidance.
+	Kernel kernel.Blocking
+	// NoFuse disables folding the leaf-level encode/decode linear
+	// combinations into the kernel's packing and write-out passes,
+	// restoring the materialize-then-multiply schedule at the recursion
+	// cutoff. Ablation point; see bilinear.Options.NoFuse.
+	NoFuse bool
 	// PlanCache bounds the number of shape-keyed plans a Multiplier
 	// retains; 0 means DefaultPlanCache.
 	PlanCache int

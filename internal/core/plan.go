@@ -19,6 +19,7 @@ import (
 	"abmm/internal/basis"
 	"abmm/internal/bilinear"
 	"abmm/internal/dd"
+	"abmm/internal/kernel"
 	"abmm/internal/matrix"
 	"abmm/internal/obs"
 	"abmm/internal/parallel"
@@ -64,6 +65,12 @@ type Plan struct {
 	phiIP, psiIP, nuIP bool
 	eng                *bilinear.Engine
 	bopt               bilinear.Options
+
+	// kb is the packed base-case kernel's blocking; panelBytes the panel
+	// workspace one sequential base-case call draws from the arena at
+	// this plan's base-block shape (see kernel.Blocking.PanelBytes).
+	kb         kernel.Blocking
+	panelBytes int64
 
 	// rec receives execution events; info carries the shape, depth, and
 	// flop accountings every MulDone reports (see obs.MulInfo).
@@ -111,8 +118,12 @@ func NewPlan(alg *algos.Algorithm, opt Options, m, k, n int) *Plan {
 		key:     PlanKey{M: m, K: k, N: n},
 		levels:  levels,
 		workers: w,
-		bopt:    bilinear.Options{Workers: w, TaskParallel: opt.TaskParallel, Direct: opt.Direct, Recorder: opt.Recorder},
-		rec:     opt.Recorder,
+		bopt: bilinear.Options{
+			Workers: w, TaskParallel: opt.TaskParallel, Direct: opt.Direct,
+			Recorder: opt.Recorder, Kernel: opt.Kernel, NoFuse: opt.NoFuse,
+		},
+		kb:  opt.Kernel,
+		rec: opt.Recorder,
 	}
 	if opt.ErrorSampleEvery > 0 {
 		if es, ok := opt.Recorder.(obs.ErrorSampler); ok {
@@ -123,6 +134,7 @@ func NewPlan(alg *algos.Algorithm, opt Options, m, k, n int) *Plan {
 	p.arenas.New = func() any { return pool.NewArena() }
 	if levels == 0 {
 		p.pm, p.pk, p.pn = m, k, n
+		p.panelBytes = p.kb.PanelBytes(m, k, n)
 		p.compileInfo()
 		return p
 	}
@@ -162,6 +174,10 @@ func NewPlan(alg *algos.Algorithm, opt Options, m, k, n int) *Plan {
 		}
 	}
 	p.eng = bilinear.NewEngine(s, p.bopt, levels)
+	// Base-case shape of the compiled recursion: what one packed-kernel
+	// call sees, and therefore what sizes the panel workspace.
+	p.panelBytes = p.kb.PanelBytes(
+		p.pm/ipow(s.M0, levels), p.pk/ipow(s.K0, levels), p.pn/ipow(s.N0, levels))
 	p.compileInfo()
 	return p
 }
@@ -194,6 +210,12 @@ func (p *Plan) Levels() int { return p.levels }
 // ArenaBytes returns the high-water mark of workspace bytes held by any
 // single arena of this plan.
 func (p *Plan) ArenaBytes() int64 { return p.bytes.Load() }
+
+// PanelWorkspaceBytes returns the packed-panel workspace one
+// sequential base-case kernel call of this plan draws from its arena
+// (before size-class rounding): the kernel's share of the plan's
+// resident footprint.
+func (p *Plan) PanelWorkspaceBytes() int64 { return p.panelBytes }
 
 // ErrorBound returns the plan's precompiled forward error bound factor:
 // the depth-aware Theorem III.8 bound f(K,L)·ε of the compiled
@@ -261,9 +283,13 @@ func (p *Plan) run(dst, a, b *matrix.Matrix, cn *parallel.Cancel) {
 	w := p.workers
 	ms := obs.StartMul(p.rec, p.info)
 	if p.levels == 0 {
+		// A level-0 plan is one packed-kernel call; the arena supplies
+		// the panel workspace so repeated calls stay allocation-free.
+		ar := p.checkout()
 		ps := ms.StartPhase(obs.PhaseBilinear)
-		matrix.MulInto(dst, a, b, w)
+		kernel.Mul(dst, a, b, p.kb, w, ar, p.rec)
 		ps.End()
+		p.release(ar)
 		ms.End()
 		if !cn.Canceled() {
 			p.maybeSampleError(dst, a, b)

@@ -23,7 +23,7 @@ func Phases(p Params) *Table {
 		Title: fmt.Sprintf("Phase breakdown at n=%d (warm plans, %d rep(s), workers=%d)",
 			n, p.Reps, p.workers()),
 		Header: []string{"algorithm", "L", "time", "pad", "forward", "bilinear", "inverse", "crop",
-			"eff GF/s", "cl-eq GF/s", "reuse"},
+			"pack", "kernel", "eff GF/s", "cl-eq GF/s", "reuse"},
 	}
 	w := p.workers()
 	a, b := matrix.New(n, n), matrix.New(n, n)
@@ -52,7 +52,8 @@ func Phases(p Params) *Table {
 		}
 	}
 	t.Notes = append(t.Notes,
-		"phase shares are fractions of multiplication wall time and sum to ~100%",
+		"pipeline shares (pad..crop) are fractions of multiplication wall time and sum to ~100%",
+		"pack and kernel are nested inside bilinear and excluded from that sum",
 		"eff GF/s rates the algorithm's true operation count; cl-eq GF/s the classical 2n³")
 	return t
 }

@@ -1,0 +1,77 @@
+package kernel
+
+// The register micro-kernel. MR×NR is the register-tile shape: one call
+// accumulates an MR×NR tile of the product over a kc-deep slice of the
+// inner dimension, reading the operands from packed micro-panels so
+// every load is unit-stride and every accumulator lives in a register
+// for the whole k loop. 4×4 holds the sixteen accumulators plus the
+// eight operand values of one k step within the sixteen SSE registers
+// of amd64 (the narrowest target), and each loaded operand element is
+// reused four times — against one use per load in a streaming kernel.
+const (
+	// MR is the number of A rows (product rows) per register tile.
+	MR = 4
+	// NR is the number of B columns (product columns) per register tile.
+	NR = 4
+)
+
+// microKernel accumulates acc += Ap·Bp over one packed micro-panel
+// pair: ap is an MR-row micro-panel stored k-major (the MR row elements
+// of one k adjacent), bp an NR-column micro-panel stored k-major, both
+// sliced to exactly kc·MR and kc·NR elements. acc is the row-major
+// MR×NR register tile.
+//
+// On amd64 with AVX2 the tile is computed by the assembly kernel in
+// micro_amd64.s (one YMM accumulator per row, separate VMULPD/VADDPD —
+// not FMA); everywhere else by the portable Go loop below. Both apply
+// the products to each accumulator one at a time in ascending k order —
+// the same rounding chain as the textbook triple loop, which is what
+// lets the packed path pin bitwise equality with MulNaive.
+//
+//abmm:hotpath
+func microKernel(ap, bp []float64, acc *[MR * NR]float64) {
+	if haveAVX2 && len(ap) >= MR && len(bp) >= NR {
+		kc := min(len(ap)/MR, len(bp)/NR)
+		microAVX2(&ap[0], &bp[0], kc, acc)
+		return
+	}
+	microGeneric(ap, bp, acc)
+}
+
+// microGeneric is the portable micro-kernel. The k loop advances both
+// slices in lock step, so the loop condition proves every index in
+// range and the body compiles without bounds checks.
+//
+//abmm:hotpath
+func microGeneric(ap, bp []float64, acc *[MR * NR]float64) {
+	c00, c01, c02, c03 := acc[0], acc[1], acc[2], acc[3]
+	c10, c11, c12, c13 := acc[4], acc[5], acc[6], acc[7]
+	c20, c21, c22, c23 := acc[8], acc[9], acc[10], acc[11]
+	c30, c31, c32, c33 := acc[12], acc[13], acc[14], acc[15]
+	for len(ap) >= MR && len(bp) >= NR {
+		a0, a1, a2, a3 := ap[0], ap[1], ap[2], ap[3]
+		b0, b1, b2, b3 := bp[0], bp[1], bp[2], bp[3]
+		c00 += a0 * b0
+		c01 += a0 * b1
+		c02 += a0 * b2
+		c03 += a0 * b3
+		c10 += a1 * b0
+		c11 += a1 * b1
+		c12 += a1 * b2
+		c13 += a1 * b3
+		c20 += a2 * b0
+		c21 += a2 * b1
+		c22 += a2 * b2
+		c23 += a2 * b3
+		c30 += a3 * b0
+		c31 += a3 * b1
+		c32 += a3 * b2
+		c33 += a3 * b3
+		ap = ap[MR:]
+		bp = bp[NR:]
+	}
+	acc[0], acc[1], acc[2], acc[3] = c00, c01, c02, c03
+	acc[4], acc[5], acc[6], acc[7] = c10, c11, c12, c13
+	acc[8], acc[9], acc[10], acc[11] = c20, c21, c22, c23
+	acc[12], acc[13], acc[14], acc[15] = c30, c31, c32, c33
+}

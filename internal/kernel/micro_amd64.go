@@ -1,0 +1,37 @@
+//go:build amd64
+
+package kernel
+
+// cpuid executes CPUID with the given EAX/ECX inputs.
+func cpuid(eaxIn, ecxIn uint32) (eax, ebx, ecx, edx uint32)
+
+// xgetbv reads extended control register 0 (requires OSXSAVE).
+func xgetbv() (eax, edx uint32)
+
+// microAVX2 is the assembly 4×4 micro-kernel (micro_amd64.s):
+// acc += Ap·Bp over kc packed k steps, mul-then-add rounding.
+//
+//go:noescape
+func microAVX2(ap, bp *float64, kc int, acc *[MR * NR]float64)
+
+// haveAVX2 is probed once at init; microKernel dispatches on it.
+var haveAVX2 = detectAVX2()
+
+// detectAVX2 reports whether the CPU supports AVX2 and the OS has
+// enabled YMM state (OSXSAVE + XCR0 bits for XMM and YMM).
+func detectAVX2() bool {
+	maxID, _, _, _ := cpuid(0, 0)
+	if maxID < 7 {
+		return false
+	}
+	const osxsave, avx = 1 << 27, 1 << 28
+	_, _, c, _ := cpuid(1, 0)
+	if c&osxsave == 0 || c&avx == 0 {
+		return false
+	}
+	if lo, _ := xgetbv(); lo&0x6 != 0x6 {
+		return false
+	}
+	_, b, _, _ := cpuid(7, 0)
+	return b&(1<<5) != 0
+}

@@ -1,0 +1,109 @@
+// AVX2 micro-kernel and CPU feature probes for the packed base case.
+//
+// The 4×4 register tile maps one output row to one YMM accumulator
+// (four float64 columns per register). Each k step loads the four
+// packed B columns once, broadcasts the four packed A row elements,
+// and issues a separate VMULPD and VADDPD per row — deliberately NOT
+// VFMADD: the fused multiply-add rounds once where mul-then-add rounds
+// twice, and the kernel's contract is bitwise equality with the scalar
+// naive triple loop, which rounds twice. Per output element the adds
+// form one serial ascending-k chain, so each element's rounding
+// history is identical to the scalar kernel's.
+
+#include "textflag.h"
+
+// func microAVX2(ap, bp *float64, kc int, acc *[16]float64)
+TEXT ·microAVX2(SB), NOSPLIT, $0-32
+	MOVQ ap+0(FP), SI
+	MOVQ bp+8(FP), DI
+	MOVQ kc+16(FP), CX
+	MOVQ acc+24(FP), DX
+
+	VMOVUPD (DX), Y0      // acc row 0
+	VMOVUPD 32(DX), Y1    // acc row 1
+	VMOVUPD 64(DX), Y2    // acc row 2
+	VMOVUPD 96(DX), Y3    // acc row 3
+
+	MOVQ CX, BX
+	ANDQ $1, BX           // BX = kc odd?
+	SHRQ $1, CX           // CX = kc/2 (pairs)
+	JZ   tail
+
+pair:
+	// k step 0
+	VMOVUPD (DI), Y4
+	VBROADCASTSD (SI), Y5
+	VBROADCASTSD 8(SI), Y6
+	VBROADCASTSD 16(SI), Y7
+	VBROADCASTSD 24(SI), Y8
+	VMULPD Y4, Y5, Y5
+	VMULPD Y4, Y6, Y6
+	VMULPD Y4, Y7, Y7
+	VMULPD Y4, Y8, Y8
+	VADDPD Y5, Y0, Y0
+	VADDPD Y6, Y1, Y1
+	VADDPD Y7, Y2, Y2
+	VADDPD Y8, Y3, Y3
+	// k step 1
+	VMOVUPD 32(DI), Y9
+	VBROADCASTSD 32(SI), Y10
+	VBROADCASTSD 40(SI), Y11
+	VBROADCASTSD 48(SI), Y12
+	VBROADCASTSD 56(SI), Y13
+	VMULPD Y9, Y10, Y10
+	VMULPD Y9, Y11, Y11
+	VMULPD Y9, Y12, Y12
+	VMULPD Y9, Y13, Y13
+	VADDPD Y10, Y0, Y0
+	VADDPD Y11, Y1, Y1
+	VADDPD Y12, Y2, Y2
+	VADDPD Y13, Y3, Y3
+
+	ADDQ $64, SI
+	ADDQ $64, DI
+	DECQ CX
+	JNZ  pair
+
+tail:
+	TESTQ BX, BX
+	JZ    done
+	VMOVUPD (DI), Y4
+	VBROADCASTSD (SI), Y5
+	VBROADCASTSD 8(SI), Y6
+	VBROADCASTSD 16(SI), Y7
+	VBROADCASTSD 24(SI), Y8
+	VMULPD Y4, Y5, Y5
+	VMULPD Y4, Y6, Y6
+	VMULPD Y4, Y7, Y7
+	VMULPD Y4, Y8, Y8
+	VADDPD Y5, Y0, Y0
+	VADDPD Y6, Y1, Y1
+	VADDPD Y7, Y2, Y2
+	VADDPD Y8, Y3, Y3
+
+done:
+	VMOVUPD Y0, (DX)
+	VMOVUPD Y1, 32(DX)
+	VMOVUPD Y2, 64(DX)
+	VMOVUPD Y3, 96(DX)
+	VZEROUPPER
+	RET
+
+// func cpuid(eaxIn, ecxIn uint32) (eax, ebx, ecx, edx uint32)
+TEXT ·cpuid(SB), NOSPLIT, $0-24
+	MOVL eaxIn+0(FP), AX
+	MOVL ecxIn+4(FP), CX
+	CPUID
+	MOVL AX, eax+8(FP)
+	MOVL BX, ebx+12(FP)
+	MOVL CX, ecx+16(FP)
+	MOVL DX, edx+20(FP)
+	RET
+
+// func xgetbv() (eax, edx uint32)
+TEXT ·xgetbv(SB), NOSPLIT, $0-8
+	XORL CX, CX
+	XGETBV
+	MOVL AX, eax+0(FP)
+	MOVL DX, edx+4(FP)
+	RET

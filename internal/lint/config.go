@@ -71,9 +71,15 @@ func DefaultConfig(dir string) Config {
 				"abmm/internal/parallel",
 				"abmm/internal/pool",
 			},
-			"abmm/internal/bench": {"abmm"},
+			"abmm/internal/bench": {
+				"abmm",
+				"abmm/internal/kernel",
+				"abmm/internal/matrix",
+				"abmm/internal/pool",
+			},
 			"abmm/internal/bilinear": {
 				"abmm/internal/exact",
+				"abmm/internal/kernel",
 				"abmm/internal/matrix",
 				"abmm/internal/obs",
 				"abmm/internal/parallel",
@@ -90,6 +96,7 @@ func DefaultConfig(dir string) Config {
 				"abmm/internal/basis",
 				"abmm/internal/bilinear",
 				"abmm/internal/dd",
+				"abmm/internal/kernel",
 				"abmm/internal/matrix",
 				"abmm/internal/obs",
 				"abmm/internal/parallel",
@@ -116,6 +123,12 @@ func DefaultConfig(dir string) Config {
 				"abmm/internal/parallel",
 				"abmm/internal/scaling",
 				"abmm/internal/stability",
+			},
+			"abmm/internal/kernel": {
+				"abmm/internal/matrix",
+				"abmm/internal/obs",
+				"abmm/internal/parallel",
+				"abmm/internal/pool",
 			},
 			"abmm/internal/lint":     {},
 			"abmm/internal/matrix":   {"abmm/internal/parallel"},

@@ -1,0 +1,50 @@
+// Package kern mirrors the packed-kernel hotpath idioms that the
+// fused base case introduced: the heap-copy-before-closure dispatch
+// pattern (copy parameter slices so a worker closure never captures
+// the caller's stack) and the fixed-table cold spill. Each has a true
+// positive (the copy or spill without justification) and a near-miss
+// (the same shape behind a line-scoped allow).
+package kern
+
+import "fixture/par"
+
+type term struct{ c float64 }
+
+var sink []term
+
+//abmm:hotpath
+func Dispatch(terms []term, blocks int) {
+	// True positive: the defensive copy allocates on the hot path with
+	// no justification.
+	bad := append([]term(nil), terms...) // want hotpath-alloc
+	sink = bad
+	// Near-miss: the identical copy, justified as the cold parallel
+	// branch's closure-capture discipline.
+	//abmm:allow hotpath-alloc
+	good := append([]term(nil), terms...)
+	par.For(blocks, func(i int) { sink = good })
+}
+
+//abmm:hotpath
+func Spill(n int) {
+	var buf [4]term
+	s := buf[:]
+	if n > len(buf) {
+		s = make([]term, n) // want hotpath-alloc
+	}
+	sink = s
+}
+
+// SpillAllowed is Spill with the justified cold-spill escape: the
+// stack table covers every real input and oversized inputs are cold.
+//
+//abmm:hotpath
+func SpillAllowed(n int) {
+	var buf [4]term
+	s := buf[:]
+	if n > len(buf) {
+		//abmm:allow hotpath-alloc
+		s = make([]term, n)
+	}
+	sink = s
+}

@@ -12,11 +12,14 @@ const (
 	blockN = 512
 )
 
-// Mul computes c = a·b with the cache-blocked parallel classical
-// algorithm. c must not alias a or b. This kernel is the recursion base
-// case of all fast algorithms in this library and doubles as the
-// "DGEMM" baseline that runtimes are normalized against (the paper uses
-// Intel MKL; see DESIGN.md §4 for the substitution).
+// Mul computes c = a·b with the cache-blocked classical loop: zero the
+// destination, then accumulate. c must not alias a or b. This is the
+// portable reference kernel and the "DGEMM" baseline that runtimes are
+// normalized against (the paper uses Intel MKL; see DESIGN.md §4 for
+// the substitution); the recursion base case of the fast algorithms is
+// the packed-panel kernel in internal/kernel, which this package
+// cannot reach (it would invert the import DAG).
+//
 //abmm:hotpath
 func Mul(c, a, b *Matrix, workers int) {
 	if a.Cols != b.Rows || c.Rows != a.Rows || c.Cols != b.Cols {
@@ -26,13 +29,16 @@ func Mul(c, a, b *Matrix, workers int) {
 	MulAdd(c, a, b, workers)
 }
 
-// MulInto is Mul under the library's destination-passing naming: it
-// exists so call sites reading "...Into" for every stage of the
-// zero-allocation pipeline can use the same convention for the base
-// case. c must not alias a or b.
+// MulInto computes c = a·b, fully overwriting c's prior contents; it is
+// Mul's behavior under the library's destination-passing "...Into"
+// naming and delegates to Mul directly. The two names exist so call
+// sites reading "...Into" for every stage of the zero-allocation
+// pipeline keep the convention for the base case; there is deliberately
+// no separate implementation behind this one. c must not alias a or b.
 func MulInto(c, a, b *Matrix, workers int) { Mul(c, a, b, workers) }
 
 // MulAdd computes c += a·b. c must not alias a or b.
+//
 //abmm:hotpath
 func MulAdd(c, a, b *Matrix, workers int) {
 	if a.Cols != b.Rows || c.Rows != a.Rows || c.Cols != b.Cols {
@@ -53,7 +59,12 @@ func MulAdd(c, a, b *Matrix, workers int) {
 	})
 }
 
-// mulBlocks runs row blocks [lo, hi) of the blocked schedule.
+// mulBlocks is the one shared tile routine of the classical kernel: it
+// accumulates row blocks [lo, hi) of the blocked (i-block, k-block,
+// j-block) schedule, with both the sequential and the parallel paths of
+// MulAdd funneling into it. Within a tile the loop order (i, k, j)
+// streams B rows and C rows with unit stride, so the inner loop is a
+// multiply-add over contiguous memory.
 func mulBlocks(c, a, b *Matrix, lo, hi int) {
 	m, k, n := a.Rows, a.Cols, b.Cols
 	for ib := lo; ib < hi; ib++ {
@@ -63,28 +74,19 @@ func mulBlocks(c, a, b *Matrix, lo, hi int) {
 			k1 := min(k0+blockK, k)
 			for j0 := 0; j0 < n; j0 += blockN {
 				j1 := min(j0+blockN, n)
-				mulTile(c, a, b, i0, i1, k0, k1, j0, j1)
-			}
-		}
-	}
-}
-
-// mulTile accumulates the (i0:i1, j0:j1) tile of C using the
-// (i0:i1, k0:k1) panel of A and (k0:k1, j0:j1) panel of B. The loop
-// order (i, k, j) streams B rows and C rows with unit stride so the
-// inner loop is a vectorizable fused multiply-add over contiguous
-// memory.
-func mulTile(c, a, b *Matrix, i0, i1, k0, k1, j0, j1 int) {
-	for i := i0; i < i1; i++ {
-		crow := c.Data[i*c.Stride+j0 : i*c.Stride+j1]
-		arow := a.Data[i*a.Stride+k0 : i*a.Stride+k1]
-		for kk, av := range arow {
-			if av == 0 {
-				continue
-			}
-			brow := b.Data[(k0+kk)*b.Stride+j0 : (k0+kk)*b.Stride+j1]
-			for j, bv := range brow {
-				crow[j] += av * bv
+				for i := i0; i < i1; i++ {
+					crow := c.Data[i*c.Stride+j0 : i*c.Stride+j1]
+					arow := a.Data[i*a.Stride+k0 : i*a.Stride+k1]
+					for kk, av := range arow {
+						if av == 0 {
+							continue
+						}
+						brow := b.Data[(k0+kk)*b.Stride+j0 : (k0+kk)*b.Stride+j1]
+						for j, bv := range brow {
+							crow[j] += av * bv
+						}
+					}
+				}
 			}
 		}
 	}

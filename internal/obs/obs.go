@@ -55,15 +55,34 @@ const (
 	// crop to the caller's shape.
 	PhaseCrop
 
-	// NumPhases is the number of pipeline phases.
-	NumPhases = 5
+	// PhasePack covers copying operand blocks into packed micro-panels
+	// inside the base-case kernel, including any fused linear
+	// combinations formed during the copy. It is a sub-phase nested
+	// inside PhaseBilinear (or PhaseForward/PhaseInverse time it
+	// replaces), not a sixth pipeline stage: pack+kernel time is also
+	// counted by the enclosing pipeline phase.
+	PhasePack
+	// PhaseKernel covers the register-tiled micro-kernel compute of the
+	// base-case kernel: everything the kernel does that is not packing.
+	// Like PhasePack it nests inside the enclosing pipeline phase.
+	PhaseKernel
+
+	// NumPhases is the number of recorded phases (pipeline stages plus
+	// the nested kernel sub-phases).
+	NumPhases = 7
+	// NumPipelinePhases is the number of top-level Algorithm 1 pipeline
+	// stages (pad through crop). Their durations partition a
+	// multiplication's wall time; the sub-phases at indices >=
+	// NumPipelinePhases overlap them and must be excluded when summing
+	// phase shares to a whole.
+	NumPipelinePhases = 5
 )
 
-var phaseNames = [NumPhases]string{"pad", "forward", "bilinear", "inverse", "crop"}
+var phaseNames = [NumPhases]string{"pad", "forward", "bilinear", "inverse", "crop", "pack", "kernel"}
 
 // String returns the phase's short name ("pad", "forward", "bilinear",
-// "inverse", "crop"); these are also the trace region and pprof label
-// values.
+// "inverse", "crop", "pack", "kernel"); these are also the trace region
+// and pprof label values.
 func (p Phase) String() string {
 	if int(p) < len(phaseNames) {
 		return phaseNames[p]

@@ -17,7 +17,7 @@ import (
 var update = flag.Bool("update", false, "rewrite golden files")
 
 func TestPhaseNames(t *testing.T) {
-	want := []string{"pad", "forward", "bilinear", "inverse", "crop"}
+	want := []string{"pad", "forward", "bilinear", "inverse", "crop", "pack", "kernel"}
 	for i, w := range want {
 		if got := Phase(i).String(); got != w {
 			t.Errorf("Phase(%d) = %q, want %q", i, got, w)
@@ -28,6 +28,10 @@ func TestPhaseNames(t *testing.T) {
 	}
 	if NumPhases != len(want) {
 		t.Errorf("NumPhases = %d, want %d", NumPhases, len(want))
+	}
+	if NumPipelinePhases != 5 || phaseNames[NumPipelinePhases-1] != "crop" {
+		t.Errorf("pipeline phases = %d ending %q, want 5 ending in crop",
+			NumPipelinePhases, phaseNames[NumPipelinePhases-1])
 	}
 }
 
@@ -156,6 +160,10 @@ func goldenCollector() *Collector {
 	c.PhaseDone(PhaseBilinear, 350*time.Millisecond)
 	c.PhaseDone(PhaseInverse, 20*time.Millisecond)
 	c.PhaseDone(PhaseCrop, 60*time.Millisecond)
+	// Nested sub-phases of bilinear: overlap the pipeline stages above,
+	// so they are excluded from the share-sum invariant.
+	c.PhaseDone(PhasePack, 90*time.Millisecond)
+	c.PhaseDone(PhaseKernel, 260*time.Millisecond)
 	c.TaskSpawn(true)
 	c.TaskSpawn(true)
 	c.TaskSpawn(false)
@@ -194,18 +202,28 @@ func TestSnapshotGoldenJSON(t *testing.T) {
 
 func TestPhaseSharesSumToOne(t *testing.T) {
 	s := goldenCollector().Snapshot()
+	// Only the top-level pipeline stages partition the wall time; pack
+	// and kernel are nested inside bilinear and would double-count.
 	var sum float64
-	for _, p := range s.Phases {
+	for _, p := range s.Phases[:NumPipelinePhases] {
 		sum += p.Share
 	}
 	if sum < 0.99 || sum > 1.01 {
-		t.Errorf("phase shares sum to %g, want ~1 (phases: %+v)", sum, s.Phases)
+		t.Errorf("pipeline shares sum to %g, want ~1 (phases: %+v)", sum, s.Phases)
+	}
+	var nested float64
+	for _, p := range s.Phases[NumPipelinePhases:] {
+		nested += p.Share
+	}
+	if bil := s.Phases[PhaseBilinear].Share; nested > bil+0.01 {
+		t.Errorf("nested pack+kernel share %g exceeds bilinear share %g", nested, bil)
 	}
 }
 
 func TestReportContents(t *testing.T) {
 	rep := goldenCollector().Snapshot().Report()
 	for _, want := range []string{"pad", "forward", "bilinear", "inverse", "crop",
+		"pack", "kernel",
 		"classical-equivalent", "effective", "spawned", "inline", "high-water"} {
 		if !bytes.Contains([]byte(rep), []byte(want)) {
 			t.Errorf("report missing %q:\n%s", want, rep)
