@@ -22,7 +22,7 @@ test:
 # `make lint` runs directly).
 race:
 	$(GO) test -race -short -run 'TestMultiplierConcurrent|TestMultiplyIntoPadded|TestMultiplierStats' .
-	$(GO) test -race -short ./internal/core/... ./internal/bilinear/... ./internal/basis/... ./internal/kernel/... ./internal/pool/... ./internal/obs/... ./internal/lint/... ./internal/server/...
+	$(GO) test -race -short ./internal/core/... ./internal/bilinear/... ./internal/basis/... ./internal/kernel/... ./internal/pool/... ./internal/obs/... ./internal/reqtrace/... ./internal/lint/... ./internal/server/...
 
 vet:
 	$(GO) vet ./...
@@ -57,8 +57,11 @@ bench-compare:
 	$(GO) run ./cmd/bench -o /tmp/abmm-bench-head.json -compare BENCH_1.json
 
 # End-to-end serving smoke test: build abmmd, drive it with loadgen for
-# a few seconds over a small shape mix, require at least one success
-# and zero hard errors, then drain via SIGTERM. CI runs this step.
+# a few seconds over a small shape mix, require at least one success,
+# zero hard errors, and a clean traceparent round-trip on every
+# response (loadgen -trace, the default, exits nonzero on any
+# X-Abmm-Trace-Id mismatch), check that /debug/requests serves filed
+# span trees, then drain via SIGTERM. CI runs this step.
 SMOKE_ADDR ?= 127.0.0.1:18080
 serve-smoke:
 	$(GO) build -o /tmp/abmmd ./cmd/abmmd
@@ -71,6 +74,12 @@ serve-smoke:
 	done; \
 	/tmp/abmm-loadgen -target http://$(SMOKE_ADDR) -c 4 -d 3s -shapes 64,128,256 -min-ok 1; \
 	status=$$?; \
+	if [ $$status -eq 0 ]; then \
+		wget -q -O /tmp/abmm-requests.json "http://$(SMOKE_ADDR)/debug/requests?format=json" && \
+		grep -q '"outcome": "ok"' /tmp/abmm-requests.json && \
+		grep -q '"name": "exec"' /tmp/abmm-requests.json || \
+		{ echo "serve-smoke: /debug/requests missing traced spans" >&2; status=1; }; \
+	fi; \
 	kill -TERM $$pid; wait $$pid; \
 	exit $$status
 

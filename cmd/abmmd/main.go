@@ -3,8 +3,11 @@
 // lifecycle. SIGTERM/SIGINT starts a drain — the listener refuses new
 // multiplications with 503 while in-flight requests finish — and the
 // final observability snapshot is flushed to stderr before exit.
+// Request-scoped logs go to stderr as structured slog records (text or
+// JSON), each carrying the request's trace ID when traced; completed
+// traces are browsable at /debug/requests.
 //
-//	abmmd -addr :8080 -algs ours,strassen -max-in-flight 2
+//	abmmd -addr :8080 -algs ours,strassen -max-in-flight 2 -log-format json
 //
 // See README.md ("Running as a service") for the wire format and the
 // endpoint table.
@@ -14,7 +17,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"os"
 	"os/signal"
 	"strings"
@@ -37,8 +40,19 @@ func main() {
 		maxElems     = flag.Int("max-elems", 0, "per-operand element cap (0 = 16Mi)")
 		errSample    = flag.Int("error-sample", 0, "sample accuracy telemetry every Nth multiplication (0 = off)")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "max time to finish in-flight requests on shutdown")
+		logFormat    = flag.String("log-format", "text", "request log format: text or json")
+		logLevel     = flag.String("log-level", "info", "minimum log level: debug, info, warn, or error")
+		traceSample  = flag.Int("trace-sample", 1, "trace every nth request (1 = all, negative = only client-initiated traces)")
+		traceSlow    = flag.Duration("trace-slow", 0, "slow-ring threshold for /debug/requests (0 = 250ms)")
+		traceRing    = flag.Int("trace-ring", 0, "per-bucket /debug/requests ring capacity (0 = 64)")
 	)
 	flag.Parse()
+
+	logger, err := buildLogger(*logFormat, *logLevel)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "abmmd: %v\n", err)
+		os.Exit(2)
+	}
 
 	cfg := server.Config{
 		Workers:          *workers,
@@ -49,6 +63,10 @@ func main() {
 		MaxElems:         *maxElems,
 		ErrorSampleEvery: *errSample,
 		Collector:        abmm.NewCollector(),
+		Logger:           logger,
+		TraceSample:      *traceSample,
+		TraceSlow:        *traceSlow,
+		TraceRing:        *traceRing,
 	}
 	if *algs != "" {
 		for _, name := range strings.Split(*algs, ",") {
@@ -61,22 +79,41 @@ func main() {
 
 	srv, err := server.Serve(*addr, cfg)
 	if err != nil {
-		log.Fatalf("abmmd: %v", err)
+		logger.Error("startup failed", "error", err)
+		os.Exit(1)
 	}
-	log.Printf("abmmd: serving on %s (algorithms: %s)", srv.Addr(), strings.Join(cfg.Algorithms, ", "))
+	logger.Info("serving", "addr", srv.Addr(), "algorithms", strings.Join(cfg.Algorithms, ","))
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
 	defer stop()
 	<-ctx.Done()
 	stop() // a second signal kills immediately
 
-	log.Printf("abmmd: draining (up to %v)", *drainTimeout)
+	logger.Info("draining", "timeout", (*drainTimeout).String())
 	dctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 	defer cancel()
 	if err := srv.Shutdown(dctx); err != nil {
-		log.Printf("abmmd: drain incomplete: %v", err)
+		logger.Warn("drain incomplete", "error", err)
 		srv.Close()
 	}
 	fmt.Fprintln(os.Stderr, srv.Collector().Snapshot().Report())
-	log.Printf("abmmd: bye")
+	logger.Info("bye")
+}
+
+// buildLogger assembles the stderr slog.Logger from the -log-format and
+// -log-level flags.
+func buildLogger(format, level string) (*slog.Logger, error) {
+	var lvl slog.Level
+	if err := lvl.UnmarshalText([]byte(level)); err != nil {
+		return nil, fmt.Errorf("bad -log-level %q: %w", level, err)
+	}
+	opts := &slog.HandlerOptions{Level: lvl}
+	switch format {
+	case "text":
+		return slog.New(slog.NewTextHandler(os.Stderr, opts)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(os.Stderr, opts)), nil
+	default:
+		return nil, fmt.Errorf("bad -log-format %q (want text or json)", format)
+	}
 }

@@ -5,6 +5,12 @@
 // (p50/p95/p99/max), throughput, and the response-code breakdown, and
 // exits non-zero when the run saw hard errors or fewer successes than
 // -min-ok — which is how `make serve-smoke` turns it into a gate.
+//
+// With -trace (the default) every request carries a fresh W3C
+// traceparent header and the echoed X-Abmm-Trace-Id is verified against
+// it — a round-trip assertion over the server's trace propagation — and
+// the run ends with the trace IDs of the slowest successful requests,
+// ready to paste into the server's /debug/requests inspector.
 package main
 
 import (
@@ -21,6 +27,7 @@ import (
 	"time"
 
 	"abmm"
+	"abmm/internal/reqtrace"
 	"abmm/internal/server"
 )
 
@@ -28,6 +35,8 @@ type result struct {
 	shape   int
 	code    int // 0 = transport error
 	latency time.Duration
+	trace   reqtrace.ID // zero when untraced
+	badEcho bool        // echoed trace ID did not match the one sent
 }
 
 func main() {
@@ -40,6 +49,8 @@ func main() {
 		shapeArg = flag.String("shapes", "128,256", "comma-separated square sizes in the mix")
 		timeout  = flag.Duration("timeout", 0, "per-request execution deadline (0 = none)")
 		minOK    = flag.Int("min-ok", 0, "fail unless at least this many requests succeeded")
+		trace    = flag.Bool("trace", true, "send a traceparent per request and verify the echoed trace ID")
+		slowest  = flag.Int("slowest", 3, "print the trace IDs of the N slowest successful requests")
 	)
 	flag.Parse()
 
@@ -86,9 +97,20 @@ func main() {
 			local := make([]result, 0, 1024)
 			for i := 0; time.Now().Before(deadline); i++ {
 				shape := shapes[(c+i)%len(shapes)]
+				req, err := http.NewRequest(http.MethodPost, url, bytes.NewReader(bodies[shape]))
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "loadgen: %v\n", err)
+					os.Exit(2)
+				}
+				req.Header.Set("Content-Type", server.ContentTypeBinary)
+				r := result{shape: shape}
+				if *trace {
+					r.trace = reqtrace.NewID()
+					req.Header.Set("traceparent", reqtrace.FormatTraceparent(r.trace, r.trace.Lo|1))
+				}
 				start := time.Now()
-				resp, err := client.Post(url, server.ContentTypeBinary, bytes.NewReader(bodies[shape]))
-				r := result{shape: shape, latency: time.Since(start)}
+				resp, err := client.Do(req)
+				r.latency = time.Since(start)
 				if err != nil {
 					local = append(local, r)
 					continue
@@ -97,6 +119,9 @@ func main() {
 				resp.Body.Close()
 				r.code = resp.StatusCode
 				r.latency = time.Since(start)
+				if *trace && resp.Header.Get("X-Abmm-Trace-Id") != r.trace.String() {
+					r.badEcho = true
+				}
 				local = append(local, r)
 			}
 			mu.Lock()
@@ -107,8 +132,15 @@ func main() {
 	wg.Wait()
 
 	ok, shed, canceled, hardErrs := report(os.Stdout, results, *dur)
+	if *trace {
+		reportTraces(os.Stdout, results, *slowest)
+	}
 	if hardErrs > 0 {
 		fmt.Fprintf(os.Stderr, "loadgen: %d hard errors\n", hardErrs)
+		os.Exit(1)
+	}
+	if badEchoes := countBadEchoes(results); badEchoes > 0 {
+		fmt.Fprintf(os.Stderr, "loadgen: %d responses failed the traceparent round-trip\n", badEchoes)
 		os.Exit(1)
 	}
 	if ok < *minOK {
@@ -117,6 +149,43 @@ func main() {
 	}
 	_ = shed
 	_ = canceled
+}
+
+// countBadEchoes counts traced responses whose X-Abmm-Trace-Id did not
+// match the traceparent sent; transport failures never responded and do
+// not count.
+func countBadEchoes(results []result) int {
+	n := 0
+	for _, r := range results {
+		if r.code != 0 && r.badEcho {
+			n++
+		}
+	}
+	return n
+}
+
+// reportTraces prints the trace IDs of the slowest successful requests,
+// for pasting into the server's /debug/requests inspector (where they
+// land in the slow ring when past its threshold).
+func reportTraces(w io.Writer, results []result, n int) {
+	oks := make([]result, 0, len(results))
+	for _, r := range results {
+		if r.code == http.StatusOK && !r.trace.IsZero() {
+			oks = append(oks, r)
+		}
+	}
+	sort.Slice(oks, func(i, j int) bool { return oks[i].latency > oks[j].latency })
+	if n > len(oks) {
+		n = len(oks)
+	}
+	if n <= 0 {
+		return
+	}
+	fmt.Fprintf(w, "slowest traces (see /debug/requests on the server):\n")
+	for _, r := range oks[:n] {
+		fmt.Fprintf(w, "  %10v  %dx%d  trace=%s\n",
+			r.latency.Round(time.Microsecond), r.shape, r.shape, r.trace.String())
+	}
 }
 
 // report prints the latency table and returns the code-class counts:

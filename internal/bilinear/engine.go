@@ -168,6 +168,21 @@ func NewEngine(s *Spec, opt Options, levels int) *Engine {
 	return e
 }
 
+// WithRecorder returns an engine identical to e but reporting to rec —
+// a shallow copy sharing the compiled state (coefficient columns,
+// limiter, programs), so it costs one small allocation, not a
+// recompile. The serving layer uses it to attach a per-request trace
+// recorder to a cached plan's engine for a single execution. Returns e
+// itself when rec is already its recorder.
+func (e *Engine) WithRecorder(rec obs.Recorder) *Engine {
+	if e == nil || rec == e.rec {
+		return e
+	}
+	e2 := *e
+	e2.rec = rec
+	return &e2
+}
+
 func columns(m *matrix.Matrix) [][]float64 {
 	out := make([][]float64, m.Cols)
 	for r := range out {

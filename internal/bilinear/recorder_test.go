@@ -1,0 +1,77 @@
+package bilinear_test
+
+// Tests for Engine.WithRecorder: the shallow rebind the serving layer
+// uses to attach a per-request recorder to a cached plan's engine.
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"abmm/internal/algos"
+	"abmm/internal/bilinear"
+	"abmm/internal/matrix"
+	"abmm/internal/obs"
+	"abmm/internal/pool"
+)
+
+// countRec counts recorder events; concurrency-safe like the interface
+// demands.
+type countRec struct {
+	phases atomic.Int64
+	muls   atomic.Int64
+	tasks  atomic.Int64
+	arenas atomic.Int64
+}
+
+func (r *countRec) PhaseDone(obs.Phase, time.Duration) { r.phases.Add(1) }
+func (r *countRec) MulDone(obs.MulInfo, time.Duration) { r.muls.Add(1) }
+func (r *countRec) TaskSpawn(bool)                     { r.tasks.Add(1) }
+func (r *countRec) ArenaRelease(obs.ArenaUsage)        { r.arenas.Add(1) }
+
+func TestEngineWithRecorder(t *testing.T) {
+	alg := algos.Strassen()
+	base := &countRec{}
+	e := bilinear.NewEngine(alg.Spec, bilinear.Options{Workers: 1, Recorder: base}, 1)
+
+	if e.WithRecorder(base) != e {
+		t.Fatal("WithRecorder with the current recorder should return the engine unchanged")
+	}
+	per := &countRec{}
+	e2 := e.WithRecorder(per)
+	if e2 == e {
+		t.Fatal("WithRecorder with a new recorder should return a copy")
+	}
+
+	const n = 32
+	a, b := matrix.New(n, n), matrix.New(n, n)
+	a.FillUniform(matrix.Rand(7), -1, 1)
+	b.FillUniform(matrix.Rand(8), -1, 1)
+	as := bilinear.ToRecursive(a, alg.Spec.M0, alg.Spec.K0, 1, 1)
+	bs := bilinear.ToRecursive(b, alg.Spec.K0, alg.Spec.N0, 1, 1)
+
+	run := func(eng *bilinear.Engine) *matrix.Matrix {
+		cs := matrix.New(alg.Spec.DW()*(as.Rows/alg.Spec.DU()), bs.Cols)
+		eng.ExecInto(cs, as, bs, pool.Global)
+		return cs
+	}
+	want := run(e)
+	base0 := base.phases.Load()
+
+	got := run(e2)
+	if d := matrix.MaxAbsDiff(got, want); d != 0 {
+		t.Fatalf("rebound engine computed a different product (diff %g)", d)
+	}
+	if per.phases.Load() == 0 {
+		t.Fatal("per-request recorder saw no phase events")
+	}
+	if base.phases.Load() != base0 {
+		t.Fatalf("original engine's recorder saw the rebound run (%d -> %d events)",
+			base0, base.phases.Load())
+	}
+	// A nil engine stays nil (level-0 plans have no engine).
+	var nilEng *bilinear.Engine
+	if nilEng.WithRecorder(per) != nil {
+		t.Fatal("nil engine should rebind to nil")
+	}
+}

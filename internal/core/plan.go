@@ -24,6 +24,7 @@ import (
 	"abmm/internal/obs"
 	"abmm/internal/parallel"
 	"abmm/internal/pool"
+	"abmm/internal/reqtrace"
 	"abmm/internal/stability"
 )
 
@@ -252,27 +253,47 @@ func (p *Plan) MultiplyInto(dst, a, b *matrix.Matrix) {
 // remaining recursion subtree is abandoned as soon as ctx is done. On a
 // non-nil return, dst holds garbage and must be discarded; on a nil
 // return it holds the full product. Cancellation granularity is one
-// recursion node — a level-0 plan (no recursion) runs to completion —
-// and the warm zero-alloc guarantee covers only the background-context
-// path (watching a cancelable ctx allocates the watcher).
+// recursion node — a level-0 plan (no recursion) runs to completion.
+//
+// When ctx carries a reqtrace.Trace, the execution's phase events are
+// teed to it alongside the plan's own recorder, so the request's span
+// tree shows the Algorithm 1 pipeline without rebuilding the plan. The
+// warm zero-alloc guarantee covers only the untraced background-context
+// path: watching a cancelable ctx allocates the watcher, and attaching
+// a trace allocates the tee and the engine copy (pinned by
+// TestMultiplyIntoCtxZeroAllocUntraced).
 //
 //abmm:coldpath
 func (p *Plan) MultiplyIntoCtx(ctx context.Context, dst, a, b *matrix.Matrix) error {
 	if err := ctx.Err(); err != nil {
 		return err
 	}
+	rec, eng := p.rec, p.eng
+	if tr := reqtrace.FromContext(ctx); tr != nil {
+		rec = obs.Tee(p.rec, tr)
+		eng = eng.WithRecorder(rec)
+	}
 	if ctx.Done() == nil {
-		p.run(dst, a, b, nil)
+		p.runRec(dst, a, b, nil, rec, eng)
 		return nil
 	}
 	cn, stop := parallel.WatchContext(ctx)
 	defer stop()
-	p.run(dst, a, b, cn)
+	p.runRec(dst, a, b, cn, rec, eng)
 	return ctx.Err()
 }
 
 //abmm:hotpath
 func (p *Plan) run(dst, a, b *matrix.Matrix, cn *parallel.Cancel) {
+	p.runRec(dst, a, b, cn, p.rec, p.eng)
+}
+
+// runRec is the execution body with the recorder and engine as
+// parameters: the warm paths pass the plan's own (run, MultiplyInto),
+// the traced path passes a per-request tee (MultiplyIntoCtx).
+//
+//abmm:hotpath
+func (p *Plan) runRec(dst, a, b *matrix.Matrix, cn *parallel.Cancel, rec obs.Recorder, eng *bilinear.Engine) {
 	if a.Rows != p.key.M || a.Cols != p.key.K || b.Rows != p.key.K || b.Cols != p.key.N {
 		panic(fmt.Sprintf("core: plan compiled for %dx%d·%dx%d got %dx%d·%dx%d",
 			p.key.M, p.key.K, p.key.K, p.key.N, a.Rows, a.Cols, b.Rows, b.Cols))
@@ -281,13 +302,13 @@ func (p *Plan) run(dst, a, b *matrix.Matrix, cn *parallel.Cancel) {
 		panic(matrix.ErrShape)
 	}
 	w := p.workers
-	ms := obs.StartMul(p.rec, p.info)
+	ms := obs.StartMul(rec, p.info)
 	if p.levels == 0 {
 		// A level-0 plan is one packed-kernel call; the arena supplies
 		// the panel workspace so repeated calls stay allocation-free.
 		ar := p.checkout()
 		ps := ms.StartPhase(obs.PhaseBilinear)
-		kernel.Mul(dst, a, b, p.kb, w, ar, p.rec)
+		kernel.Mul(dst, a, b, p.kb, w, ar, rec)
 		ps.End()
 		p.release(ar)
 		ms.End()
@@ -300,7 +321,7 @@ func (p *Plan) run(dst, a, b *matrix.Matrix, cn *parallel.Cancel) {
 	ar := p.checkout()
 	defer p.release(ar)
 	var c0 pool.Counters
-	if p.rec != nil {
+	if rec != nil {
 		c0 = ar.Counters()
 	}
 
@@ -355,7 +376,7 @@ func (p *Plan) run(dst, a, b *matrix.Matrix, cn *parallel.Cancel) {
 	// Recursive-bilinear phase.
 	ps = ms.StartPhase(obs.PhaseBilinear)
 	cs := ar.Mat(p.csR, p.csC)
-	p.eng.ExecIntoCancel(cs, as, bs, ar, cn)
+	eng.ExecIntoCancel(cs, as, bs, ar, cn)
 	ar.PutMat(as)
 	ar.PutMat(bs)
 	ps.End()
@@ -388,9 +409,9 @@ func (p *Plan) run(dst, a, b *matrix.Matrix, cn *parallel.Cancel) {
 	ar.PutMat(cs)
 	ps.End()
 
-	if p.rec != nil {
+	if rec != nil {
 		c1 := ar.Counters()
-		p.rec.ArenaRelease(obs.ArenaUsage{
+		rec.ArenaRelease(obs.ArenaUsage{
 			AllocBytes:     c1.AllocBytes,
 			HighWaterBytes: c1.HighWaterBytes,
 			RequestedBytes: c1.RequestedBytes - c0.RequestedBytes,

@@ -30,7 +30,7 @@ func DefaultConfig(dir string) Config {
 				"abmm",
 				"abmm/internal/server",
 			},
-			"abmm/cmd/abmmvet": {"abmm/internal/lint"},
+			"abmm/cmd/abmmvet":  {"abmm/internal/lint"},
 			"abmm/cmd/algoinfo": {"abmm"},
 			"abmm/cmd/bench": {
 				"abmm",
@@ -39,6 +39,7 @@ func DefaultConfig(dir string) Config {
 			"abmm/cmd/experiments": {"abmm/internal/experiments"},
 			"abmm/cmd/loadgen": {
 				"abmm",
+				"abmm/internal/reqtrace",
 				"abmm/internal/server",
 			},
 			"abmm/cmd/sparsify": {
@@ -101,6 +102,7 @@ func DefaultConfig(dir string) Config {
 				"abmm/internal/obs",
 				"abmm/internal/parallel",
 				"abmm/internal/pool",
+				"abmm/internal/reqtrace",
 				"abmm/internal/stability",
 			},
 			"abmm/internal/dd": {
@@ -135,11 +137,13 @@ func DefaultConfig(dir string) Config {
 			"abmm/internal/obs":      {},
 			"abmm/internal/parallel": {},
 			"abmm/internal/pool":     {"abmm/internal/matrix"},
+			"abmm/internal/reqtrace": {"abmm/internal/obs"},
 			"abmm/internal/scaling":  {"abmm/internal/matrix"},
 			"abmm/internal/schedule": {"abmm/internal/exact"},
 			"abmm/internal/server": {
 				"abmm",
 				"abmm/internal/obs",
+				"abmm/internal/reqtrace",
 			},
 			"abmm/internal/sparsify": {
 				"abmm/internal/algos",

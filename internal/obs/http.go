@@ -40,23 +40,36 @@ type MetricsWriter func(w io.Writer)
 //
 // It deliberately claims no other pattern — in particular not "/" — so
 // a server can mount it next to its own routes on one http.Server.
-// Handler and Serve are the standalone conveniences built on it. The
-// collector may be shared with live multiplications; every scrape takes
-// a fresh snapshot.
+// Mounting twice on one mux is a no-op for the already-claimed patterns
+// (the first registration wins) rather than the ServeMux duplicate
+// panic, so composed layers that each mount defensively can share a
+// mux. Handler and Serve are the standalone conveniences built on it.
+// The collector may be shared with live multiplications; every scrape
+// takes a fresh snapshot.
 func Mount(mux *http.ServeMux, c *Collector, extra ...MetricsWriter) {
-	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+	MountDebug(mux, "/metrics", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		WriteMetrics(w, c)
 		for _, fn := range extra {
 			fn(w)
 		}
-	})
-	mux.Handle("/debug/vars", expvar.Handler())
-	mux.HandleFunc("/debug/pprof/", pprof.Index)
-	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
-	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
-	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
-	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}))
+	MountDebug(mux, "/debug/vars", expvar.Handler())
+	MountDebug(mux, "/debug/pprof/", http.HandlerFunc(pprof.Index))
+	MountDebug(mux, "/debug/pprof/cmdline", http.HandlerFunc(pprof.Cmdline))
+	MountDebug(mux, "/debug/pprof/profile", http.HandlerFunc(pprof.Profile))
+	MountDebug(mux, "/debug/pprof/symbol", http.HandlerFunc(pprof.Symbol))
+	MountDebug(mux, "/debug/pprof/trace", http.HandlerFunc(pprof.Trace))
+}
+
+// MountDebug registers one handler on the shared observability surface,
+// tolerating an already-claimed pattern (first registration wins, no
+// panic). Layers with their own debug endpoints — e.g. the serving
+// layer's /debug/requests trace inspector — use it to join the one-port
+// surface Mount establishes.
+func MountDebug(mux *http.ServeMux, pattern string, h http.Handler) {
+	defer func() { recover() }() // ServeMux panics on duplicate patterns
+	mux.Handle(pattern, h)
 }
 
 // Handler returns a standalone http.Handler serving the observability

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"strconv"
@@ -173,6 +174,62 @@ func TestServeEndpoints(t *testing.T) {
 	}
 	if srv.Addr() == "" || !strings.HasPrefix(srv.URL(), "http://127.0.0.1:") {
 		t.Errorf("addr/url: %q %q", srv.Addr(), srv.URL())
+	}
+}
+
+// TestMountTwiceIsNoop pins Mount's idempotency: composed layers that
+// each mount defensively must share one mux without the ServeMux
+// duplicate-pattern panic, and the first registration must keep
+// serving.
+func TestMountTwiceIsNoop(t *testing.T) {
+	c := goldenCollector()
+	mux := http.NewServeMux()
+	Mount(mux, c)
+	Mount(mux, NewCollector()) // second mount: swallowed, first wins
+
+	rec := httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/metrics", nil))
+	if rec.Code != http.StatusOK || !strings.Contains(rec.Body.String(), "abmm_mults_total 1") {
+		t.Errorf("first mount's collector not serving after double mount: code %d", rec.Code)
+	}
+}
+
+// TestMountDebugFirstWins pins MountDebug directly: a second handler on
+// a claimed pattern is dropped, and a fresh pattern registers.
+func TestMountDebugFirstWins(t *testing.T) {
+	mux := http.NewServeMux()
+	serve := func(body string) http.Handler {
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			io.WriteString(w, body)
+		})
+	}
+	MountDebug(mux, "/debug/custom", serve("first"))
+	MountDebug(mux, "/debug/custom", serve("second"))
+	MountDebug(mux, "/debug/other", serve("other"))
+
+	get := func(path string) string {
+		rec := httptest.NewRecorder()
+		mux.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, path, nil))
+		return rec.Body.String()
+	}
+	if got := get("/debug/custom"); got != "first" {
+		t.Errorf("/debug/custom served %q, want the first registration", got)
+	}
+	if got := get("/debug/other"); got != "other" {
+		t.Errorf("/debug/other served %q", got)
+	}
+}
+
+// TestMetricsContentType pins the exposition Content-Type the scrape
+// endpoint declares.
+func TestMetricsContentType(t *testing.T) {
+	mux := http.NewServeMux()
+	Mount(mux, NewCollector())
+	rec := httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/metrics", nil))
+	want := "text/plain; version=0.0.4; charset=utf-8"
+	if got := rec.Header().Get("Content-Type"); got != want {
+		t.Errorf("/metrics Content-Type = %q, want %q", got, want)
 	}
 }
 

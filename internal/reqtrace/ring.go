@@ -1,0 +1,165 @@
+package reqtrace
+
+import (
+	"sync"
+	"time"
+)
+
+// Bucket names a Store ring. Every completed trace lands in
+// BucketRecent; slow, errored, and canceled traces are additionally
+// retained in their own rings so a burst of fast successes cannot evict
+// the requests worth looking at.
+type Bucket uint8
+
+const (
+	// BucketRecent holds the most recent completions regardless of
+	// outcome.
+	BucketRecent Bucket = iota
+	// BucketSlow holds completions at or above the Store's latency
+	// threshold.
+	BucketSlow
+	// BucketErrored holds OutcomeError completions.
+	BucketErrored
+	// BucketCanceled holds OutcomeCanceled completions.
+	BucketCanceled
+
+	// NumBuckets is the number of Store rings.
+	NumBuckets = 4
+)
+
+var bucketNames = [NumBuckets]string{"recent", "slow", "errored", "canceled"}
+
+// String returns "recent", "slow", "errored", or "canceled".
+func (b Bucket) String() string {
+	if int(b) < len(bucketNames) {
+		return bucketNames[b]
+	}
+	return "unknown"
+}
+
+// DefaultRingSize is the per-bucket capacity when Config leaves it
+// unset. 64 traces × 4 buckets at ≤ MaxSpans spans each bounds resident
+// trace memory to a few hundred KiB.
+const DefaultRingSize = 64
+
+// DefaultSlowThreshold classifies completions into BucketSlow when
+// Config leaves it unset.
+const DefaultSlowThreshold = 250 * time.Millisecond
+
+// ring is a fixed-capacity overwrite-oldest buffer. Add/snapshot are
+// mutex-guarded: publication is once per request and the inspector is a
+// debug endpoint — neither is hot.
+type ring struct {
+	mu    sync.Mutex
+	buf   []*Trace
+	pos   int   // next write index
+	n     int   // live entries (≤ len(buf))
+	total int64 // lifetime adds, including overwritten
+}
+
+func (r *ring) add(t *Trace) {
+	r.mu.Lock()
+	r.buf[r.pos] = t
+	r.pos = (r.pos + 1) % len(r.buf)
+	if r.n < len(r.buf) {
+		r.n++
+	}
+	r.total++
+	r.mu.Unlock()
+}
+
+// snapshot returns the stored traces newest-first.
+func (r *ring) snapshot() []*Trace {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]*Trace, r.n)
+	for i := 0; i < r.n; i++ {
+		out[i] = r.buf[(r.pos-1-i+len(r.buf))%len(r.buf)]
+	}
+	return out
+}
+
+// Store retains completed traces in per-bucket rings and serves them
+// at /debug/requests (see Handler). Safe for concurrent use.
+type Store struct {
+	rings [NumBuckets]ring
+	slow  time.Duration
+}
+
+// NewStore builds a store with the given per-bucket ring capacity and
+// slow-trace threshold; zero or negative values take the defaults.
+func NewStore(ringSize int, slowThreshold time.Duration) *Store {
+	if ringSize <= 0 {
+		ringSize = DefaultRingSize
+	}
+	if slowThreshold <= 0 {
+		slowThreshold = DefaultSlowThreshold
+	}
+	s := &Store{slow: slowThreshold}
+	for i := range s.rings {
+		s.rings[i].buf = make([]*Trace, ringSize)
+	}
+	return s
+}
+
+// SlowThreshold returns the latency at or above which a completion is
+// retained in BucketSlow.
+func (s *Store) SlowThreshold() time.Duration {
+	if s == nil {
+		return 0
+	}
+	return s.slow
+}
+
+// Add publishes a sealed trace into every bucket it qualifies for.
+// Unsealed or nil traces (and a nil Store) are ignored, so callers can
+// publish unconditionally after Finish.
+func (s *Store) Add(t *Trace) {
+	if s == nil || t == nil || !t.done.Load() {
+		return
+	}
+	s.rings[BucketRecent].add(t)
+	if time.Duration(t.totalNs) >= s.slow {
+		s.rings[BucketSlow].add(t)
+	}
+	switch t.outcome {
+	case OutcomeError:
+		s.rings[BucketErrored].add(t)
+	case OutcomeCanceled:
+		s.rings[BucketCanceled].add(t)
+	}
+}
+
+// Traces returns the bucket's stored traces, newest first.
+func (s *Store) Traces(b Bucket) []*Trace {
+	if s == nil || int(b) >= NumBuckets {
+		return nil
+	}
+	return s.rings[b].snapshot()
+}
+
+// Total returns the bucket's lifetime completion count, including
+// traces the ring has since overwritten.
+func (s *Store) Total(b Bucket) int64 {
+	if s == nil || int(b) >= NumBuckets {
+		return 0
+	}
+	r := &s.rings[b]
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.total
+}
+
+// Lookup finds a stored trace by ID (the BucketRecent ring, newest
+// match), or nil.
+func (s *Store) Lookup(id ID) *Trace {
+	if s == nil {
+		return nil
+	}
+	for _, t := range s.rings[BucketRecent].snapshot() {
+		if t.id == id {
+			return t
+		}
+	}
+	return nil
+}

@@ -57,10 +57,12 @@ func newGate(maxInFlight, maxQueued int, timeout time.Duration) *gate {
 
 // acquire claims an execution slot, waiting in the bounded queue if
 // none is free. It returns a release function on success and one of
-// errQueueFull, errQueueTimeout, or ctx.Err() on rejection. The wait is
-// capped by both QueueTimeout and ctx, so an abandoned request never
-// holds a queue position.
-func (g *gate) acquire(ctx context.Context) (release func(), err error) {
+// errQueueFull, errQueueTimeout, or ctx.Err() on rejection; queued
+// reports whether the request waited in the queue rather than being
+// admitted on a free slot immediately, so the caller can attribute the
+// wait on a request trace. The wait is capped by both QueueTimeout and
+// ctx, so an abandoned request never holds a queue position.
+func (g *gate) acquire(ctx context.Context) (release func(), queued bool, err error) {
 	release = func() {
 		<-g.slots
 		g.inFlight.Add(-1)
@@ -69,13 +71,13 @@ func (g *gate) acquire(ctx context.Context) (release func(), err error) {
 	case g.slots <- struct{}{}:
 		g.inFlight.Add(1)
 		g.admitted.Add(1)
-		return release, nil
+		return release, false, nil
 	default:
 	}
 	if q := g.queued.Add(1); q > g.maxQueued {
 		g.queued.Add(-1)
 		g.rejectedFull.Add(1)
-		return nil, errQueueFull
+		return nil, true, errQueueFull
 	} else {
 		for {
 			peak := g.queuedPeak.Load()
@@ -91,12 +93,12 @@ func (g *gate) acquire(ctx context.Context) (release func(), err error) {
 	case g.slots <- struct{}{}:
 		g.inFlight.Add(1)
 		g.admitted.Add(1)
-		return release, nil
+		return release, true, nil
 	case <-timer.C:
 		g.rejectedTimeout.Add(1)
-		return nil, errQueueTimeout
+		return nil, true, errQueueTimeout
 	case <-ctx.Done():
-		return nil, ctx.Err()
+		return nil, true, ctx.Err()
 	}
 }
 

@@ -9,13 +9,16 @@ import (
 
 func TestGateFastPath(t *testing.T) {
 	g := newGate(2, 4, time.Second)
-	r1, err := g.acquire(context.Background())
+	r1, q1, err := g.acquire(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
-	r2, err := g.acquire(context.Background())
+	r2, q2, err := g.acquire(context.Background())
 	if err != nil {
 		t.Fatal(err)
+	}
+	if q1 || q2 {
+		t.Fatalf("fast-path acquires reported queued (%v, %v), want false", q1, q2)
 	}
 	if got := g.inFlight.Load(); got != 2 {
 		t.Fatalf("inFlight = %d, want 2", got)
@@ -32,12 +35,12 @@ func TestGateFastPath(t *testing.T) {
 
 func TestGateQueueFull(t *testing.T) {
 	g := newGate(1, 0, time.Second)
-	release, err := g.acquire(context.Background())
+	release, _, err := g.acquire(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer release()
-	if _, err := g.acquire(context.Background()); !errors.Is(err, errQueueFull) {
+	if _, _, err := g.acquire(context.Background()); !errors.Is(err, errQueueFull) {
 		t.Fatalf("want errQueueFull, got %v", err)
 	}
 	if got := g.rejectedFull.Load(); got != 1 {
@@ -47,12 +50,12 @@ func TestGateQueueFull(t *testing.T) {
 
 func TestGateQueueTimeout(t *testing.T) {
 	g := newGate(1, 1, 10*time.Millisecond)
-	release, err := g.acquire(context.Background())
+	release, _, err := g.acquire(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer release()
-	if _, err := g.acquire(context.Background()); !errors.Is(err, errQueueTimeout) {
+	if _, _, err := g.acquire(context.Background()); !errors.Is(err, errQueueTimeout) {
 		t.Fatalf("want errQueueTimeout, got %v", err)
 	}
 	if got := g.queuedPeak.Load(); got < 1 {
@@ -65,7 +68,7 @@ func TestGateQueueTimeout(t *testing.T) {
 
 func TestGateContextCancel(t *testing.T) {
 	g := newGate(1, 1, time.Minute)
-	release, err := g.acquire(context.Background())
+	release, _, err := g.acquire(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -73,7 +76,7 @@ func TestGateContextCancel(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	done := make(chan error, 1)
 	go func() {
-		_, err := g.acquire(ctx)
+		_, _, err := g.acquire(ctx)
 		done <- err
 	}()
 	// Wait until the second acquire is queued, then abandon it.
@@ -91,13 +94,16 @@ func TestGateContextCancel(t *testing.T) {
 
 func TestGateQueueDrainsToSlot(t *testing.T) {
 	g := newGate(1, 2, time.Second)
-	release, err := g.acquire(context.Background())
+	release, _, err := g.acquire(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
 	done := make(chan error, 1)
 	go func() {
-		r, err := g.acquire(context.Background())
+		r, queued, err := g.acquire(context.Background())
+		if err == nil && !queued {
+			err = errors.New("drained acquire should report queued=true")
+		}
 		if err == nil {
 			r()
 		}

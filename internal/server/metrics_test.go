@@ -1,0 +1,47 @@
+package server
+
+// Golden test for the server's /metrics families. A fresh server is
+// fully deterministic — every counter zero, every histogram empty, the
+// gauges fixed by Config — so the exposition text can be pinned
+// byte-for-byte. This locks the metric names and label sets (queue
+// depth/peak/capacity, traced_total buckets, request codes) that
+// dashboards scrape. Regenerate with: go test ./internal/server -update
+// (flag shared with the reqtrace goldens' convention).
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+func TestServerMetricsGolden(t *testing.T) {
+	s := newTestServer(t, Config{
+		MaxInFlight:  2,
+		MaxQueued:    8,
+		QueueTimeout: time.Second,
+	})
+	var buf bytes.Buffer
+	s.writeMetrics(&buf)
+
+	path := filepath.Join("testdata", "server_metrics.golden.txt")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to create): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("server metrics drifted from %s (regenerate with -update):\ngot:\n%s", path, buf.String())
+	}
+}

@@ -19,6 +19,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net"
 	"net/http"
 	"sort"
@@ -29,6 +30,7 @@ import (
 
 	"abmm"
 	"abmm/internal/obs"
+	"abmm/internal/reqtrace"
 )
 
 // Config parametrizes a Server. The zero value serves: every catalog
@@ -66,6 +68,23 @@ type Config struct {
 	// ErrorSampleEvery enables sampled accuracy telemetry on the shared
 	// multipliers (see abmm.Options.ErrorSampleEvery).
 	ErrorSampleEvery int
+	// Logger receives request-scoped structured logs (completions,
+	// rejections, panics), each carrying the request's trace ID when
+	// traced; nil discards them.
+	Logger *slog.Logger
+	// TraceSample traces every nth request that arrives without trace
+	// context of its own: 0 defaults to 1 (trace every request — spans
+	// are cheap fixed-size annotations), negative disables local
+	// sampling. A request carrying a traceparent header or a v2 wire
+	// trace field is always traced regardless.
+	TraceSample int
+	// TraceSlow is the duration at or above which a completed trace also
+	// lands in the "slow" ring of /debug/requests; 0 defaults to
+	// reqtrace.DefaultSlowThreshold.
+	TraceSlow time.Duration
+	// TraceRing is the per-bucket capacity of the /debug/requests rings;
+	// 0 defaults to reqtrace.DefaultRingSize.
+	TraceRing int
 }
 
 func (c Config) withDefaults() Config {
@@ -89,6 +108,12 @@ func (c Config) withDefaults() Config {
 	}
 	if len(c.Algorithms) == 0 {
 		c.Algorithms = abmm.Names()
+	}
+	if c.Logger == nil {
+		c.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
+	if c.TraceSample == 0 {
+		c.TraceSample = 1
 	}
 	return c
 }
@@ -132,6 +157,10 @@ type Server struct {
 	canceledClient   atomic.Int64
 	canceledDeadline atomic.Int64
 	panics           atomic.Int64
+
+	log       *slog.Logger
+	traces    *reqtrace.Store
+	traceTick atomic.Int64 // sampling counter for TraceSample > 1
 }
 
 // trackedCodes are the response codes counted individually in
@@ -153,11 +182,13 @@ const statusClientClosedRequest = 499
 func New(cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
 	s := &Server{
-		cfg:  cfg,
-		rec:  cfg.Collector,
-		gate: newGate(cfg.MaxInFlight, cfg.MaxQueued, cfg.QueueTimeout),
-		algs: make(map[string]bool, len(cfg.Algorithms)),
-		mus:  make(map[muKey]*abmm.Multiplier),
+		cfg:    cfg,
+		rec:    cfg.Collector,
+		gate:   newGate(cfg.MaxInFlight, cfg.MaxQueued, cfg.QueueTimeout),
+		algs:   make(map[string]bool, len(cfg.Algorithms)),
+		mus:    make(map[muKey]*abmm.Multiplier),
+		log:    cfg.Logger,
+		traces: reqtrace.NewStore(cfg.TraceRing, cfg.TraceSlow),
 	}
 	for _, name := range cfg.Algorithms {
 		if _, err := abmm.Lookup(name); err != nil {
@@ -175,24 +206,50 @@ func New(cfg Config) (*Server, error) {
 	mux.HandleFunc("/healthz", s.handleHealth)
 	mux.HandleFunc("/", s.handleIndex)
 	abmm.MountStats(mux, s.rec, s.writeMetrics)
+	obs.MountDebug(mux, "/debug/requests", s.traces.Handler())
 	s.mux = mux
 	return s, nil
 }
+
+// Traces returns the server's completed-trace store, backing the
+// /debug/requests inspector.
+func (s *Server) Traces() *reqtrace.Store { return s.traces }
 
 // Collector returns the stats collector shared by the engine and the
 // server, for report flushing on shutdown.
 func (s *Server) Collector() *abmm.Collector { return s.rec }
 
+// traceHolder carries the request's trace out to the panic-isolation
+// wrapper: the handler body stores the trace here as soon as it exists,
+// so a later panic can still seal it, log its ID, and echo
+// X-Abmm-Trace-Id on the 500.
+type traceHolder struct {
+	t atomic.Pointer[reqtrace.Trace]
+}
+
+type holderKey struct{}
+
+// holdTrace publishes tr (possibly nil) to the request's traceHolder.
+func holdTrace(r *http.Request, tr *reqtrace.Trace) {
+	if h, ok := r.Context().Value(holderKey{}).(*traceHolder); ok {
+		h.t.Store(tr)
+	}
+}
+
 // Handler returns the server's root handler: all routes behind the
 // panic-isolating wrapper. A handler panic answers 500 and increments
 // abmm_server_panics_total instead of killing the connection's
-// goroutine state or the process.
+// goroutine state or the process; if the request was traced, the panic
+// seals its trace as errored and the 500 carries the trace ID.
 func (s *Server) Handler() http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		holder := &traceHolder{}
+		r = r.WithContext(context.WithValue(r.Context(), holderKey{}, holder))
 		defer func() {
 			if v := recover(); v != nil {
 				s.panics.Add(1)
-				s.fail(w, http.StatusInternalServerError, fmt.Sprintf("internal error: %v", v))
+				msg := fmt.Sprintf("internal error: %v", v)
+				s.failReq(w, holder.t.Load(), http.StatusInternalServerError, msg)
 			}
 		}()
 		s.mux.ServeHTTP(w, r)
@@ -312,48 +369,129 @@ type jsonResponse struct {
 	Coalesced  bool        `json:"coalesced"`
 }
 
+// startTrace decides a request's tracing before its body is read. A
+// client traceparent header always yields a (remote) trace; otherwise
+// the TraceSample counter decides whether to originate one locally.
+// Returns nil for an untraced request — every trace annotation
+// downstream is a nil-safe no-op, keeping the untraced path allocation
+// free.
+func (s *Server) startTrace(r *http.Request) *reqtrace.Trace {
+	if id, span, ok := reqtrace.ParseTraceparent(r.Header.Get("traceparent")); ok {
+		return reqtrace.NewRemote(id, span)
+	}
+	n := s.cfg.TraceSample
+	if n <= 0 {
+		return nil
+	}
+	if n > 1 && s.traceTick.Add(1)%int64(n) != 0 {
+		return nil
+	}
+	return reqtrace.New()
+}
+
+// reqLog returns the request-scoped logger: the configured logger with
+// the trace ID attached when the request is traced.
+func (s *Server) reqLog(tr *reqtrace.Trace) *slog.Logger {
+	if tr == nil {
+		return s.log
+	}
+	return s.log.With("trace_id", tr.ID().String())
+}
+
+// finishTrace seals tr with the outcome and files it in the
+// /debug/requests rings; only the first seal wins, so a panic racing a
+// normal completion cannot double-file.
+func (s *Server) finishTrace(tr *reqtrace.Trace, o reqtrace.Outcome, errMsg string) {
+	if tr != nil && tr.Finish(o, errMsg) {
+		s.traces.Add(tr)
+	}
+}
+
+// failReq is the trace-aware fail: every error response from a traced
+// request echoes X-Abmm-Trace-Id, logs with the trace ID, and seals the
+// trace into the errored (or canceled, for 499/504) ring.
+func (s *Server) failReq(w http.ResponseWriter, tr *reqtrace.Trace, code int, msg string) {
+	if tr != nil {
+		w.Header().Set("X-Abmm-Trace-Id", tr.ID().String())
+	}
+	s.reqLog(tr).Warn("request failed", "code", code, "error", msg)
+	o := reqtrace.OutcomeError
+	if code == statusClientClosedRequest || code == http.StatusGatewayTimeout {
+		o = reqtrace.OutcomeCanceled
+	}
+	s.finishTrace(tr, o, msg)
+	s.fail(w, code, msg)
+}
+
+// failCtxReq maps a done context to its status: 504 for an expired
+// deadline, 499 (client closed request) for a canceled one.
+func (s *Server) failCtxReq(w http.ResponseWriter, tr *reqtrace.Trace, ctx context.Context) {
+	if errors.Is(ctx.Err(), context.DeadlineExceeded) {
+		s.canceledDeadline.Add(1)
+		s.failReq(w, tr, http.StatusGatewayTimeout, "deadline exceeded")
+		return
+	}
+	s.canceledClient.Add(1)
+	s.failReq(w, tr, statusClientClosedRequest, "client closed request")
+}
+
 func (s *Server) handleMultiply(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		s.fail(w, http.StatusMethodNotAllowed, "POST a multiplication request")
 		return
 	}
+	start := time.Now()
+	tr := s.startTrace(r)
+	holdTrace(r, tr)
+	ctx := reqtrace.NewContext(r.Context(), tr)
 	if s.draining.Load() {
-		s.fail(w, http.StatusServiceUnavailable, "server is draining")
+		s.failReq(w, tr, http.StatusServiceUnavailable, "server is draining")
 		return
 	}
-	start := time.Now()
 
 	isJSON := mediaType(r.Header.Get("Content-Type")) == "application/json"
 	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
 	var req *Request
 	var err error
+	dec := tr.StartSpan("decode")
 	if isJSON {
 		req, err = decodeJSONRequest(body, s.cfg.MaxElems)
 	} else {
 		req, err = DecodeRequest(body, s.cfg.MaxElems)
 	}
+	dec.End()
 	if err != nil {
 		var tooBig *http.MaxBytesError
 		if errors.As(err, &tooBig) {
-			s.fail(w, http.StatusRequestEntityTooLarge, err.Error())
+			s.failReq(w, tr, http.StatusRequestEntityTooLarge, err.Error())
 		} else {
-			s.fail(w, http.StatusBadRequest, err.Error())
+			s.failReq(w, tr, http.StatusBadRequest, err.Error())
 		}
 		return
 	}
+	// Wire-carried trace context (v2 frame) applies when the transport
+	// brought none: frame consumers without HTTP header access still get
+	// their trace continued here.
+	if tr == nil && !req.TraceID.IsZero() {
+		tr = reqtrace.NewRemote(req.TraceID, req.TraceSpan)
+		holdTrace(r, tr)
+		ctx = reqtrace.NewContext(ctx, tr)
+	}
+	m, k, n := req.A.Rows, req.A.Cols, req.B.Cols
+	tr.Eventf("alg=%s levels=%d shape=%dx%dx%d json=%t", req.Alg, req.Levels, m, k, n, isJSON)
+
 	mu, err := s.multiplier(req.Alg, req.Levels)
 	if err != nil {
-		s.fail(w, http.StatusNotFound, err.Error())
+		s.failReq(w, tr, http.StatusNotFound, err.Error())
 		return
 	}
 
 	// Deadline and cancellation: the request context already ends when
 	// the client disconnects; layer the explicit or default timeout on
 	// top. The same ctx gates queue wait and recursion.
-	ctx := r.Context()
 	timeout, err := requestTimeout(r, s.cfg.DefaultTimeout)
 	if err != nil {
-		s.fail(w, http.StatusBadRequest, err.Error())
+		s.failReq(w, tr, http.StatusBadRequest, err.Error())
 		return
 	}
 	if timeout > 0 {
@@ -362,32 +500,52 @@ func (s *Server) handleMultiply(w http.ResponseWriter, r *http.Request) {
 		defer cancel()
 	}
 
-	release, err := s.gate.acquire(ctx)
+	admStart := time.Now()
+	release, queued, err := s.gate.acquire(ctx)
+	admWait := time.Since(admStart)
 	if err != nil {
+		adm := tr.ObserveSpan("admission", admStart, admWait)
+		if queued {
+			adm.Observe("queue", admStart, admWait)
+		}
 		switch {
 		case errors.Is(err, errQueueFull), errors.Is(err, errQueueTimeout):
 			w.Header().Set("Retry-After", strconv.Itoa(s.gate.retryAfterSeconds()))
-			s.fail(w, http.StatusTooManyRequests, err.Error())
+			s.failReq(w, tr, http.StatusTooManyRequests, err.Error())
 		default:
-			s.failCtx(w, ctx)
+			s.failCtxReq(w, tr, ctx)
 		}
 		return
+	}
+	adm := tr.ObserveSpan("admission", admStart, admWait)
+	if queued {
+		adm.Observe("queue", admStart, admWait)
 	}
 	defer release()
 	queueNs := time.Since(start).Nanoseconds()
 	s.queueWait.Observe(queueNs)
 
-	m, k, n := req.A.Rows, req.A.Cols, req.B.Cols
 	key := shapeKey{alg: req.Alg, levels: req.Levels, m: m, k: k, n: n}
+	coSpan := tr.StartSpan("coalesce")
 	plan, leave, joined := s.co.enter(key, func() *abmm.Plan {
+		resolve := coSpan.StartChild("plan-resolve")
+		defer resolve.End()
 		return mu.Plan(m, k, n)
 	})
+	coSpan.End()
 	defer leave()
+	if joined {
+		tr.Eventf("joined open plan window")
+	}
 
 	dst := abmm.NewMatrix(m, n)
 	execStart := time.Now()
-	if err := plan.MultiplyIntoCtx(ctx, dst, req.A, req.B); err != nil {
-		s.failCtx(w, ctx)
+	exec := tr.StartSpan("exec")
+	exec.AdoptPhases()
+	err = plan.MultiplyIntoCtx(ctx, dst, req.A, req.B)
+	exec.End()
+	if err != nil {
+		s.failCtxReq(w, tr, ctx)
 		return
 	}
 	execNs := time.Since(execStart).Nanoseconds()
@@ -401,6 +559,11 @@ func (s *Server) handleMultiply(w http.ResponseWriter, r *http.Request) {
 	if joined {
 		h.Set("X-Abmm-Coalesced", "1")
 	}
+	if tr != nil {
+		h.Set("X-Abmm-Trace-Id", tr.ID().String())
+		h.Set("traceparent", tr.Traceparent())
+	}
+	enc := tr.StartSpan("encode")
 	if isJSON {
 		h.Set("Content-Type", "application/json")
 		resp := jsonResponse{
@@ -415,7 +578,13 @@ func (s *Server) handleMultiply(w http.ResponseWriter, r *http.Request) {
 		s.count(http.StatusOK)
 		EncodeResponse(w, dst)
 	}
+	enc.End()
 	s.reqDur.Observe(time.Since(start).Nanoseconds())
+	s.finishTrace(tr, reqtrace.OutcomeOK, "")
+	s.reqLog(tr).Info("multiply ok",
+		"alg", req.Alg, "levels", plan.Levels(),
+		"shape", fmt.Sprintf("%dx%dx%d", m, k, n),
+		"queue_ns", queueNs, "exec_ns", execNs, "coalesced", joined)
 }
 
 func (s *Server) handleAlgorithms(w http.ResponseWriter, r *http.Request) {
@@ -469,6 +638,7 @@ POST /v1/multiply     multiply two matrices (binary frame or JSON)
 GET  /v1/algorithms   served algorithm catalog
 GET  /healthz         liveness + drain state
 GET  /metrics         Prometheus text format (engine + server families)
+GET  /debug/requests  recent request traces (HTML tree or ?format=json)
 GET  /debug/vars      expvar JSON
 GET  /debug/pprof     pprof profiles
 `)
@@ -480,18 +650,6 @@ func (s *Server) fail(w http.ResponseWriter, code int, msg string) {
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	w.WriteHeader(code)
 	io.WriteString(w, msg+"\n")
-}
-
-// failCtx maps a done context to its status: 504 for an expired
-// deadline, 499 (client closed request) for a canceled one.
-func (s *Server) failCtx(w http.ResponseWriter, ctx context.Context) {
-	if errors.Is(ctx.Err(), context.DeadlineExceeded) {
-		s.canceledDeadline.Add(1)
-		s.fail(w, http.StatusGatewayTimeout, "deadline exceeded")
-		return
-	}
-	s.canceledClient.Add(1)
-	s.fail(w, statusClientClosedRequest, "client closed request")
 }
 
 func (s *Server) count(code int) {
@@ -535,6 +693,12 @@ func (s *Server) writeMetrics(w io.Writer) {
 	gauge("abmm_server_in_flight", "Multiplications currently executing.", s.gate.inFlight.Load())
 	gauge("abmm_server_queue_depth", "Requests currently waiting for an execution slot.", s.gate.queued.Load())
 	gauge("abmm_server_queue_depth_peak", "High-water mark of the admission queue.", s.gate.queuedPeak.Load())
+	gauge("abmm_server_queue_capacity", "Admission queue capacity (Config.MaxQueued).", int64(s.cfg.MaxQueued))
+
+	fmt.Fprintf(w, "# HELP abmm_server_traced_total Completed request traces filed per /debug/requests ring.\n# TYPE abmm_server_traced_total counter\n")
+	for b := reqtrace.Bucket(0); b < reqtrace.NumBuckets; b++ {
+		fmt.Fprintf(w, "abmm_server_traced_total{bucket=%q} %d\n", b.String(), s.traces.Total(b))
+	}
 	counter("abmm_server_coalesce_opened_total", "Plan execution windows opened.", s.co.opened.Load())
 	counter("abmm_server_coalesce_joined_total", "Requests that joined an open same-shape window.", s.co.joined.Load())
 	gauge("abmm_server_coalesce_windows_open", "Execution windows currently open.", int64(s.co.open()))

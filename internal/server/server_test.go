@@ -157,7 +157,7 @@ func TestServerOverload(t *testing.T) {
 	defer ts.Close()
 
 	// Occupy the only execution slot directly.
-	release, err := s.gate.acquire(context.Background())
+	release, _, err := s.gate.acquire(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}

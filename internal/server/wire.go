@@ -10,11 +10,26 @@ package server
 //
 //	request  = "ABM1" | algLen u8 | alg [algLen]byte | levels i8 |
 //	           m u32 | k u32 | n u32 | a [m*k]f64 | b [k*n]f64
+//	request2 = "ABM2" | algLen u8 | alg [algLen]byte | levels i8 |
+//	           m u32 | k u32 | n u32 | flags u8 |
+//	           [flags&1: traceHi u64 | traceLo u64 | span u64] |
+//	           a [m*k]f64 | b [k*n]f64
 //	response = "ABMR" | m u32 | n u32 | c [m*n]f64
 //
 // levels is the recursion depth; LevelsAuto (-1) requests automatic
-// selection. Request metadata that is not part of the product —
-// latency, compiled depth, the plan's error bound — travels in HTTP
+// selection. The version-2 frame is negotiated by magic: a server
+// accepts both, and EncodeRequest emits ABM1 unless the request carries
+// trace context (so new clients keep working against old servers when
+// untraced, and the frame is byte-identical to v1 in that case). The
+// flags byte reserves room for future fields; unknown bits are
+// rejected. Bit 0 announces W3C-style trace context — the 128-bit trace
+// ID and the caller's span — which is how a trace follows a
+// multiplication between abmmd processes (the HTTP traceparent header
+// carries it for HTTP clients; the wire field serves consumers of the
+// raw frame, and the distributed multiply on the ROADMAP).
+//
+// Request metadata that is not part of the product — latency, compiled
+// depth, the plan's error bound, the trace ID — travels in HTTP
 // response headers (see server.go) so the payload stays a pure matrix.
 // JSON request/response bodies are the small-matrix echo alternative;
 // see jsonRequest in server.go.
@@ -27,6 +42,7 @@ import (
 	"math"
 
 	"abmm"
+	"abmm/internal/reqtrace"
 )
 
 // ContentTypeBinary is the Content-Type of binary-framed multiplication
@@ -38,27 +54,41 @@ const ContentTypeBinary = "application/x-abmm-matrix"
 const LevelsAuto = -1
 
 var (
-	reqMagic  = [4]byte{'A', 'B', 'M', '1'}
-	respMagic = [4]byte{'A', 'B', 'M', 'R'}
+	reqMagic   = [4]byte{'A', 'B', 'M', '1'}
+	reqMagicV2 = [4]byte{'A', 'B', 'M', '2'}
+	respMagic  = [4]byte{'A', 'B', 'M', 'R'}
 )
+
+// wireFlagTrace is v2-frame flag bit 0: the header carries a 24-byte
+// trace-context field.
+const wireFlagTrace = 0x01
 
 // ErrFrame reports a malformed or truncated wire frame.
 var ErrFrame = errors.New("server: malformed wire frame")
 
 // Request is one decoded multiplication request: multiply A (m×k) by
 // B (k×n) with the named catalog algorithm at the given recursion
-// depth (LevelsAuto for automatic).
+// depth (LevelsAuto for automatic). TraceID/TraceSpan, when non-zero,
+// carry the caller's trace context in the v2 frame; a zero TraceID
+// encodes as a plain v1 frame.
 type Request struct {
 	Alg    string
 	Levels int
 	A, B   *abmm.Matrix
+
+	// TraceID is the caller's 128-bit trace identifier; TraceSpan the
+	// caller's span the server-side work nests under. See reqtrace.
+	TraceID   reqtrace.ID
+	TraceSpan uint64
 }
 
 // wireChunk is the streaming buffer size for float payloads: large
 // enough to amortize io calls, small enough to stay cache-friendly.
 const wireChunk = 4096 * 8
 
-// EncodeRequest writes req in the binary wire format.
+// EncodeRequest writes req in the binary wire format: the v1 frame
+// when the request carries no trace context (byte-compatible with old
+// servers), the v2 frame when it does.
 func EncodeRequest(w io.Writer, req *Request) error {
 	if len(req.Alg) > 255 {
 		return fmt.Errorf("server: algorithm name %q too long", req.Alg)
@@ -67,14 +97,25 @@ func EncodeRequest(w io.Writer, req *Request) error {
 		return fmt.Errorf("server: shapes %dx%d and %dx%d do not conform",
 			req.A.Rows, req.A.Cols, req.B.Rows, req.B.Cols)
 	}
-	hdr := make([]byte, 0, 4+1+len(req.Alg)+1+12)
-	hdr = append(hdr, reqMagic[:]...)
+	traced := !req.TraceID.IsZero()
+	hdr := make([]byte, 0, 4+1+len(req.Alg)+1+12+1+24)
+	if traced {
+		hdr = append(hdr, reqMagicV2[:]...)
+	} else {
+		hdr = append(hdr, reqMagic[:]...)
+	}
 	hdr = append(hdr, byte(len(req.Alg)))
 	hdr = append(hdr, req.Alg...)
 	hdr = append(hdr, byte(int8(req.Levels)))
 	hdr = binary.LittleEndian.AppendUint32(hdr, uint32(req.A.Rows))
 	hdr = binary.LittleEndian.AppendUint32(hdr, uint32(req.A.Cols))
 	hdr = binary.LittleEndian.AppendUint32(hdr, uint32(req.B.Cols))
+	if traced {
+		hdr = append(hdr, wireFlagTrace)
+		hdr = binary.LittleEndian.AppendUint64(hdr, req.TraceID.Hi)
+		hdr = binary.LittleEndian.AppendUint64(hdr, req.TraceID.Lo)
+		hdr = binary.LittleEndian.AppendUint64(hdr, req.TraceSpan)
+	}
 	if _, err := w.Write(hdr); err != nil {
 		return err
 	}
@@ -84,15 +125,17 @@ func EncodeRequest(w io.Writer, req *Request) error {
 	return writeMatrix(w, req.B)
 }
 
-// DecodeRequest reads one binary request from r. maxElems bounds the
-// element count of any single operand or the result; a frame that
-// announces more is rejected before its payload is read.
+// DecodeRequest reads one binary request from r, accepting both the v1
+// and the v2 frame. maxElems bounds the element count of any single
+// operand or the result; a frame that announces more is rejected before
+// its payload is read.
 func DecodeRequest(r io.Reader, maxElems int) (*Request, error) {
 	var fixed [6]byte // magic + algLen + at least 1 more byte pending
 	if _, err := io.ReadFull(r, fixed[:5]); err != nil {
 		return nil, frameErr(err)
 	}
-	if [4]byte(fixed[:4]) != reqMagic {
+	magic := [4]byte(fixed[:4])
+	if magic != reqMagic && magic != reqMagicV2 {
 		return nil, fmt.Errorf("%w: bad magic %q", ErrFrame, fixed[:4])
 	}
 	algBuf := make([]byte, int(fixed[4])+1+12)
@@ -108,14 +151,38 @@ func DecodeRequest(r io.Reader, maxElems int) (*Request, error) {
 	if err := checkShape(m, k, n, maxElems); err != nil {
 		return nil, err
 	}
-	a, b := abmm.NewMatrix(m, k), abmm.NewMatrix(k, n)
-	if err := readFloats(r, a.Data); err != nil {
+	req := &Request{Alg: alg, Levels: levels}
+	if magic == reqMagicV2 {
+		var fb [1]byte
+		if _, err := io.ReadFull(r, fb[:]); err != nil {
+			return nil, frameErr(err)
+		}
+		flags := fb[0]
+		// Reject unknown flag bits rather than skipping fields whose
+		// lengths this version cannot know.
+		if unknown := flags &^ wireFlagTrace; unknown != 0 {
+			return nil, fmt.Errorf("%w: unknown v2 flags %#02x", ErrFrame, unknown)
+		}
+		if flags&wireFlagTrace != 0 {
+			var tc [24]byte
+			if _, err := io.ReadFull(r, tc[:]); err != nil {
+				return nil, frameErr(err)
+			}
+			req.TraceID = reqtrace.ID{
+				Hi: binary.LittleEndian.Uint64(tc[0:8]),
+				Lo: binary.LittleEndian.Uint64(tc[8:16]),
+			}
+			req.TraceSpan = binary.LittleEndian.Uint64(tc[16:24])
+		}
+	}
+	req.A, req.B = abmm.NewMatrix(m, k), abmm.NewMatrix(k, n)
+	if err := readFloats(r, req.A.Data); err != nil {
 		return nil, err
 	}
-	if err := readFloats(r, b.Data); err != nil {
+	if err := readFloats(r, req.B.Data); err != nil {
 		return nil, err
 	}
-	return &Request{Alg: alg, Levels: levels, A: a, B: b}, nil
+	return req, nil
 }
 
 // EncodeResponse writes the product in the binary wire format.
@@ -155,7 +222,11 @@ func DecodeResponse(r io.Reader, maxElems int) (*abmm.Matrix, error) {
 // RequestWireSize returns the exact encoded byte length of a request,
 // for Content-Length headers and admission-time body caps.
 func RequestWireSize(req *Request) int64 {
-	return int64(4+1+len(req.Alg)+1+12) + 8*int64(req.A.Rows*req.A.Cols+req.B.Rows*req.B.Cols)
+	n := int64(4+1+len(req.Alg)+1+12) + 8*int64(req.A.Rows*req.A.Cols+req.B.Rows*req.B.Cols)
+	if !req.TraceID.IsZero() {
+		n += 1 + 24 // v2 flags byte + trace-context field
+	}
+	return n
 }
 
 func checkShape(m, k, n, maxElems int) error {

@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"abmm"
+	"abmm/internal/reqtrace"
 )
 
 func testMatrix(r, c int, seed float64) *abmm.Matrix {
@@ -99,6 +100,67 @@ func TestDecodeRequestRejects(t *testing.T) {
 		if !errors.Is(err, ErrFrame) {
 			t.Errorf("%s: want ErrFrame, got %v", name, err)
 		}
+	}
+}
+
+func TestWireV2TraceRoundTrip(t *testing.T) {
+	req := &Request{
+		Alg: "ours", Levels: 1,
+		A: testMatrix(2, 3, 1), B: testMatrix(3, 2, -1),
+		TraceID:   reqtrace.ID{Hi: 0xa1b2c3d4e5f60718, Lo: 0x1122334455667788},
+		TraceSpan: 0xcafebabe,
+	}
+	var buf bytes.Buffer
+	if err := EncodeRequest(&buf, req); err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	if got, want := int64(buf.Len()), RequestWireSize(req); got != want {
+		t.Fatalf("wire size %d, RequestWireSize says %d", got, want)
+	}
+	dec, err := DecodeRequest(&buf, 1<<20)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if dec.TraceID != req.TraceID || dec.TraceSpan != req.TraceSpan {
+		t.Fatalf("trace context %v/%#x, want %v/%#x", dec.TraceID, dec.TraceSpan, req.TraceID, req.TraceSpan)
+	}
+}
+
+func TestWireUntracedStaysV1(t *testing.T) {
+	// An untraced request must encode as a byte-identical v1 frame so
+	// new clients keep working against pre-v2 servers.
+	req := &Request{Alg: "ours", Levels: 1, A: testMatrix(2, 2, 1), B: testMatrix(2, 2, -1)}
+	var buf bytes.Buffer
+	if err := EncodeRequest(&buf, req); err != nil {
+		t.Fatal(err)
+	}
+	if got := buf.Bytes()[:4]; string(got) != "ABM1" {
+		t.Fatalf("untraced request encoded with magic %q, want ABM1", got)
+	}
+	dec, err := DecodeRequest(&buf, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !dec.TraceID.IsZero() || dec.TraceSpan != 0 {
+		t.Fatalf("v1 frame decoded trace context %v/%#x", dec.TraceID, dec.TraceSpan)
+	}
+}
+
+func TestWireV2RejectsUnknownFlags(t *testing.T) {
+	req := &Request{
+		Alg: "ours", Levels: 1, A: testMatrix(2, 2, 1), B: testMatrix(2, 2, -1),
+		TraceID: reqtrace.ID{Lo: 1},
+	}
+	var buf bytes.Buffer
+	if err := EncodeRequest(&buf, req); err != nil {
+		t.Fatal(err)
+	}
+	frame := buf.Bytes()
+	// The flags byte sits after magic+algLen+alg+levels+3×u32.
+	flagsOff := 4 + 1 + len(req.Alg) + 1 + 12
+	frame[flagsOff] |= 0x80
+	if _, err := DecodeRequest(bytes.NewReader(frame), 1<<20); !errors.Is(err, ErrFrame) {
+		t.Fatalf("unknown flag bits: want ErrFrame, got %v", err)
 	}
 }
 

@@ -6,6 +6,7 @@ package abmm_test
 // goroutines (run with `go test -race`, see the Makefile race target).
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"testing"
@@ -117,6 +118,33 @@ func TestMultiplierStats(t *testing.T) {
 // TestMultiplyIntoZeroAllocWarm pins the tentpole guarantee: once a
 // plan and its arenas are warm, sequential MultiplyInto allocates
 // nothing.
+// TestMultiplyIntoCtxZeroAllocUntraced pins the tracing-disabled cost
+// of the context path: with a background context (no cancelation
+// watcher) and no reqtrace.Trace attached, warm MultiplyIntoCtx is as
+// allocation-free as MultiplyInto — the trace lookup is one context
+// value read and every recorder hook is a nil no-op.
+func TestMultiplyIntoCtxZeroAllocUntraced(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts differ under the race detector")
+	}
+	alg, _ := abmm.Lookup("ours")
+	const n = 128
+	a, b, dst := abmm.NewMatrix(n, n), abmm.NewMatrix(n, n), abmm.NewMatrix(n, n)
+	a.FillUniform(abmm.Rand(1), -1, 1)
+	b.FillUniform(abmm.Rand(2), -1, 1)
+	mu := abmm.NewMultiplier(alg, abmm.Options{Levels: 2, Workers: 1})
+	ctx := context.Background()
+	if err := mu.MultiplyIntoCtx(ctx, dst, a, b); err != nil {
+		t.Fatal(err)
+	}
+	if err := mu.MultiplyIntoCtx(ctx, dst, a, b); err != nil {
+		t.Fatal(err)
+	}
+	if av := testing.AllocsPerRun(10, func() { mu.MultiplyIntoCtx(ctx, dst, a, b) }); av != 0 {
+		t.Fatalf("warm untraced MultiplyIntoCtx allocated %.1f objects/op, want 0", av)
+	}
+}
+
 func TestMultiplyIntoZeroAllocWarm(t *testing.T) {
 	if raceEnabled {
 		t.Skip("allocation counts differ under the race detector")
