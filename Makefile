@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet lint bench kernel-bench bench-json bench-compare serve-smoke trace-demo clean
+.PHONY: all build test race vet lint bench kernel-bench bench-json bench-compare serve-smoke slo-smoke trace-demo clean
 
 all: build vet test lint
 
@@ -79,6 +79,42 @@ serve-smoke:
 		grep -q '"outcome": "ok"' /tmp/abmm-requests.json && \
 		grep -q '"name": "exec"' /tmp/abmm-requests.json || \
 		{ echo "serve-smoke: /debug/requests missing traced spans" >&2; status=1; }; \
+	fi; \
+	if [ $$status -eq 0 ]; then \
+		wget -q -O /tmp/abmm-plans.json "http://$(SMOKE_ADDR)/debug/plans?format=json" && \
+		grep -q '"plan": "ours/' /tmp/abmm-plans.json || \
+		{ echo "serve-smoke: /debug/plans missing the served plans" >&2; status=1; }; \
+	fi; \
+	kill -TERM $$pid; wait $$pid; \
+	exit $$status
+
+# SLO smoke test: run abmmd with an unmeetable 1ms latency objective and
+# a tight admission gate, push it past the limit with loadgen, and
+# assert the burn-rate readiness contract end to end — /readyz must
+# report 503 right after the overload and recover to 200 once the short
+# window (1/12th of -slo-window) clears with no further traffic. CI
+# runs this step next to serve-smoke.
+slo-smoke:
+	$(GO) build -o /tmp/abmmd ./cmd/abmmd
+	$(GO) build -o /tmp/abmm-loadgen ./cmd/loadgen
+	/tmp/abmmd -addr $(SMOKE_ADDR) -algs ours -max-in-flight 1 -max-queued 2 \
+		-slo-latency-p99 1ms -slo-window 24s & \
+	pid=$$!; \
+	for i in $$(seq 1 50); do \
+		if wget -q -O /dev/null http://$(SMOKE_ADDR)/healthz 2>/dev/null; then break; fi; \
+		sleep 0.1; \
+	done; \
+	/tmp/abmm-loadgen -target http://$(SMOKE_ADDR) -c 8 -d 3s -shapes 256 -min-ok 1; \
+	status=$$?; \
+	if [ $$status -eq 0 ]; then \
+		if wget -q -O /dev/null "http://$(SMOKE_ADDR)/readyz" 2>/dev/null; then \
+			echo "slo-smoke: /readyz still 200 right after the overload" >&2; status=1; \
+		fi; \
+	fi; \
+	if [ $$status -eq 0 ]; then \
+		sleep 3; \
+		wget -q -O /dev/null "http://$(SMOKE_ADDR)/readyz" || \
+		{ echo "slo-smoke: /readyz did not recover after the short window cleared" >&2; status=1; }; \
 	fi; \
 	kill -TERM $$pid; wait $$pid; \
 	exit $$status

@@ -91,6 +91,31 @@ type Plan = core.Plan
 // live plan count, and retained workspace bytes.
 type CacheStats = core.CacheStats
 
+// PlanRegistry is the bounded per-plan telemetry registry: attach one
+// via Options.Plans and every compiled plan claims a slot keyed by
+// (shape, algorithm, levels, schedule, kernel blocking), recording
+// latency, arena high-water, and sampled error per plan with plain
+// atomics — the warm MultiplyInto path stays 0 allocs/op. Several
+// Multipliers may share one registry; the serving layer surfaces it at
+// /debug/plans and as abmm_plan_* metric families.
+type PlanRegistry = obs.PlanRegistry
+
+// PlanStats is one plan's aggregate in a PlanRegistry page.
+type PlanStats = obs.PlanStats
+
+// PlansPage is the registry export served by /debug/plans.
+type PlansPage = obs.PlansPage
+
+// NewPlanRegistry returns a per-plan telemetry registry bounded to
+// maxPlans identities (0 selects obs.DefaultMaxPlans); plans beyond the
+// bound share one "other" overflow slot, which also caps metric label
+// cardinality.
+func NewPlanRegistry(maxPlans int) *PlanRegistry { return obs.NewPlanRegistry(maxPlans) }
+
+// SLOConfig declares latency/error service objectives for the serving
+// layer's burn-rate SLO engine; see obs.SLOConfig and server.Config.SLO.
+type SLOConfig = obs.SLOConfig
+
 // Recorder receives execution events (per-phase spans, multiplication
 // totals, task dispatch, arena traffic) from every multiplication run
 // with it in Options.Recorder. A nil Recorder disables recording and

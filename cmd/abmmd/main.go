@@ -45,6 +45,10 @@ func main() {
 		traceSample  = flag.Int("trace-sample", 1, "trace every nth request (1 = all, negative = only client-initiated traces)")
 		traceSlow    = flag.Duration("trace-slow", 0, "slow-ring threshold for /debug/requests (0 = 250ms)")
 		traceRing    = flag.Int("trace-ring", 0, "per-bucket /debug/requests ring capacity (0 = 64)")
+		sloLatency   = flag.Duration("slo-latency-p99", 0, "latency objective: requests slower than this burn the error budget (0 = no latency objective)")
+		sloErrRatio  = flag.Float64("slo-error-ratio-max", 0, "numerical objective: sampled error beyond this multiple of the predicted bound burns the budget (0 = no error objective)")
+		sloWindow    = flag.Duration("slo-window", 0, "long burn-rate window; short window is 1/12th of it (0 = 1m)")
+		maxPlans     = flag.Int("max-plans", 0, "per-plan telemetry registry bound behind /debug/plans (0 = 64)")
 	)
 	flag.Parse()
 
@@ -67,6 +71,12 @@ func main() {
 		TraceSample:      *traceSample,
 		TraceSlow:        *traceSlow,
 		TraceRing:        *traceRing,
+		MaxPlans:         *maxPlans,
+		SLO: abmm.SLOConfig{
+			LatencyP99:    *sloLatency,
+			ErrorRatioMax: *sloErrRatio,
+			Window:        *sloWindow,
+		},
 	}
 	if *algs != "" {
 		for _, name := range strings.Split(*algs, ",") {

@@ -37,6 +37,7 @@ type result struct {
 	latency time.Duration
 	trace   reqtrace.ID // zero when untraced
 	badEcho bool        // echoed trace ID did not match the one sent
+	plan    string      // echoed X-Abmm-Plan (successful responses)
 }
 
 func main() {
@@ -119,6 +120,7 @@ func main() {
 				resp.Body.Close()
 				r.code = resp.StatusCode
 				r.latency = time.Since(start)
+				r.plan = resp.Header.Get("X-Abmm-Plan")
 				if *trace && resp.Header.Get("X-Abmm-Trace-Id") != r.trace.String() {
 					r.badEcho = true
 				}
@@ -143,12 +145,30 @@ func main() {
 		fmt.Fprintf(os.Stderr, "loadgen: %d responses failed the traceparent round-trip\n", badEchoes)
 		os.Exit(1)
 	}
+	if badPlans := countBadPlans(results, *alg); badPlans > 0 {
+		fmt.Fprintf(os.Stderr, "loadgen: %d successful responses missing or with malformed X-Abmm-Plan\n", badPlans)
+		os.Exit(1)
+	}
 	if ok < *minOK {
 		fmt.Fprintf(os.Stderr, "loadgen: only %d successes, need %d\n", ok, *minOK)
 		os.Exit(1)
 	}
 	_ = shed
 	_ = canceled
+}
+
+// countBadPlans counts successful responses whose X-Abmm-Plan header is
+// missing or does not carry the requested algorithm's plan identity
+// ("<alg>/L<levels>/<schedule>") — the serving contract the smoke test
+// gates on.
+func countBadPlans(results []result, alg string) int {
+	n := 0
+	for _, r := range results {
+		if r.code == http.StatusOK && !strings.HasPrefix(r.plan, alg+"/L") {
+			n++
+		}
+	}
+	return n
 }
 
 // countBadEchoes counts traced responses whose X-Abmm-Trace-Id did not
@@ -192,20 +212,45 @@ func reportTraces(w io.Writer, results []result, n int) {
 // successes, shed (429), canceled (499/504), and hard errors
 // (transport failures and any other status).
 func report(w io.Writer, results []result, dur time.Duration) (ok, shed, canceled, hardErrs int) {
+	// Per-shape aggregation carries the full outcome breakdown, not just
+	// success latencies: under SLO-driven shedding the interesting signal
+	// is which shapes get shed, and the echoed plan identity shows which
+	// compiled plan served each shape.
+	type shapeAgg struct {
+		lats                     []time.Duration
+		ok, shed, canceled, errs int
+		plan                     string
+	}
 	codes := map[int]int{}
-	byShape := map[int][]time.Duration{}
+	byShape := map[int]*shapeAgg{}
+	agg := func(shape int) *shapeAgg {
+		a := byShape[shape]
+		if a == nil {
+			a = &shapeAgg{}
+			byShape[shape] = a
+		}
+		return a
+	}
 	for _, r := range results {
 		codes[r.code]++
+		a := agg(r.shape)
 		switch r.code {
 		case http.StatusOK:
 			ok++
-			byShape[r.shape] = append(byShape[r.shape], r.latency)
+			a.ok++
+			a.lats = append(a.lats, r.latency)
+			if r.plan != "" {
+				a.plan = r.plan
+			}
 		case http.StatusTooManyRequests:
 			shed++
+			a.shed++
 		case 499, http.StatusGatewayTimeout:
 			canceled++
+			a.canceled++
 		default:
 			hardErrs++
+			a.errs++
 		}
 	}
 
@@ -218,14 +263,23 @@ func report(w io.Writer, results []result, dur time.Duration) (ok, shed, cancele
 		shapes = append(shapes, n)
 	}
 	sort.Ints(shapes)
-	fmt.Fprintf(w, "%-10s %8s %10s %10s %10s %10s\n", "shape", "count", "p50", "p95", "p99", "max")
+	fmt.Fprintf(w, "%-10s %6s %6s %5s %5s %10s %10s %10s %10s  %s\n",
+		"shape", "ok", "shed", "cancl", "err", "p50", "p95", "p99", "max", "plan")
 	for _, n := range shapes {
-		lats := byShape[n]
-		sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
-		fmt.Fprintf(w, "%-10s %8d %10v %10v %10v %10v\n",
-			fmt.Sprintf("%dx%d", n, n), len(lats),
-			pct(lats, 50).Round(time.Microsecond), pct(lats, 95).Round(time.Microsecond),
-			pct(lats, 99).Round(time.Microsecond), lats[len(lats)-1].Round(time.Microsecond))
+		a := byShape[n]
+		sort.Slice(a.lats, func(i, j int) bool { return a.lats[i] < a.lats[j] })
+		max := time.Duration(0)
+		if len(a.lats) > 0 {
+			max = a.lats[len(a.lats)-1]
+		}
+		plan := a.plan
+		if plan == "" {
+			plan = "-"
+		}
+		fmt.Fprintf(w, "%-10s %6d %6d %5d %5d %10v %10v %10v %10v  %s\n",
+			fmt.Sprintf("%dx%d", n, n), a.ok, a.shed, a.canceled, a.errs,
+			pct(a.lats, 50).Round(time.Microsecond), pct(a.lats, 95).Round(time.Microsecond),
+			pct(a.lats, 99).Round(time.Microsecond), max.Round(time.Microsecond), plan)
 	}
 
 	keys := make([]int, 0, len(codes))

@@ -55,8 +55,17 @@ type Options struct {
 	// execution (see internal/obs). nil keeps the warm MultiplyInto
 	// path allocation-free and costs a handful of branches.
 	Recorder obs.Recorder
+	// Plans, when non-nil, attributes telemetry to individual compiled
+	// plans: each plan claims a registry slot at compile time (keyed by
+	// shape, algorithm, levels, schedule, and kernel blocking) and
+	// records latency, arena high-water, and sampled error into it with
+	// plain atomics — the warm-path guarantees are unchanged. Several
+	// Multipliers may share one registry; plans evicted from the cache
+	// release their slots. See obs.PlanRegistry.
+	Plans *obs.PlanRegistry
 	// ErrorSampleEvery enables sampled numerical-accuracy telemetry:
-	// when positive and Recorder implements obs.ErrorSampler, every Nth
+	// when positive and Recorder implements obs.ErrorSampler (or Plans
+	// is set, whose slots always accept samples), every Nth
 	// execution of each plan (the 1st, N+1st, ...) is re-run through the
 	// quad-precision classical reference (internal/dd) and the measured
 	// relative error ‖Ĉ−C_ref‖/(‖A‖‖B‖), together with the plan's

@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"abmm/internal/algos"
 	"abmm/internal/basis"
@@ -78,6 +79,16 @@ type Plan struct {
 	rec  obs.Recorder
 	info obs.MulInfo
 
+	// Per-plan attribution (Options.Plans): slot is this plan's claimed
+	// registry slot (nil when no registry is attached — every recording
+	// method no-ops on nil), plans the registry to release it to when the
+	// plan-cache evicts this plan, and desc the precomputed
+	// "alg/L<levels>/<schedule>" identity string the serving layer echoes
+	// as X-Abmm-Plan.
+	slot  *obs.PlanSlot
+	plans *obs.PlanRegistry
+	desc  string
+
 	// Sampled accuracy telemetry (Options.ErrorSampleEvery): every
 	// sampleEvery-th execution re-multiplies through the quad-precision
 	// reference and reports the measured relative error against
@@ -129,6 +140,11 @@ func NewPlan(alg *algos.Algorithm, opt Options, m, k, n int) *Plan {
 	if opt.ErrorSampleEvery > 0 {
 		if es, ok := opt.Recorder.(obs.ErrorSampler); ok {
 			p.sampler = es
+		}
+		// Sampling runs whenever any sink exists: a sampler-capable
+		// recorder, or a per-plan registry (whose slots always accept
+		// samples).
+		if p.sampler != nil || opt.Plans != nil {
 			p.sampleEvery = int64(opt.ErrorSampleEvery)
 		}
 	}
@@ -137,6 +153,7 @@ func NewPlan(alg *algos.Algorithm, opt Options, m, k, n int) *Plan {
 		p.pm, p.pk, p.pn = m, k, n
 		p.panelBytes = p.kb.PanelBytes(m, k, n)
 		p.compileInfo()
+		p.claimSlot(opt.Plans)
 		return p
 	}
 	s := alg.Spec
@@ -180,8 +197,36 @@ func NewPlan(alg *algos.Algorithm, opt Options, m, k, n int) *Plan {
 	p.panelBytes = p.kb.PanelBytes(
 		p.pm/ipow(s.M0, levels), p.pk/ipow(s.K0, levels), p.pn/ipow(s.N0, levels))
 	p.compileInfo()
+	p.claimSlot(opt.Plans)
 	return p
 }
+
+// claimSlot fixes the plan's identity string and, when a per-plan
+// registry is attached, claims its telemetry slot. Runs once at compile
+// time, after compileInfo (the slot stores the flop accountings).
+func (p *Plan) claimSlot(reg *obs.PlanRegistry) {
+	sched := "seq"
+	if p.bopt.TaskParallel {
+		sched = "task"
+	}
+	if p.bopt.Direct {
+		sched += "-direct"
+	}
+	id := obs.PlanID{
+		Alg: p.alg.Name, M: p.key.M, K: p.key.K, N: p.key.N,
+		Levels: p.levels, Schedule: sched, Kernel: p.kb.Label(),
+	}
+	p.desc = id.Desc()
+	if reg != nil {
+		p.plans = reg
+		p.slot = reg.Claim(id, p.info.ClassicalFlops, p.info.AlgFlops)
+	}
+}
+
+// retire releases the plan's registry slot; the plan cache calls it
+// when it evicts the plan. The slot keeps its accumulated history until
+// the registry reclaims it for a new identity.
+func (p *Plan) retire() { p.plans.Release(p.slot) }
 
 // compileInfo precomputes the per-multiplication report: the classical
 // flop count of the caller's problem and the exact operation count of
@@ -218,6 +263,11 @@ func (p *Plan) ArenaBytes() int64 { return p.bytes.Load() }
 // resident footprint.
 func (p *Plan) PanelWorkspaceBytes() int64 { return p.panelBytes }
 
+// Desc returns the plan's identity string "alg/L<levels>/<schedule>" —
+// the form the serving layer echoes as the X-Abmm-Plan response header
+// and the per-plan /metrics label.
+func (p *Plan) Desc() string { return p.desc }
+
 // ErrorBound returns the plan's precompiled forward error bound factor:
 // the depth-aware Theorem III.8 bound f(K,L)·ε of the compiled
 // recursion at the padded shape, such that ‖Ĉ−C‖ ≤ ErrorBound·‖A‖‖B‖ in
@@ -235,6 +285,7 @@ func (p *Plan) release(ar *pool.Arena) {
 			break
 		}
 	}
+	p.slot.ArenaHighWater(b)
 	p.arenas.Put(ar)
 }
 
@@ -269,18 +320,33 @@ func (p *Plan) MultiplyIntoCtx(ctx context.Context, dst, a, b *matrix.Matrix) er
 		return err
 	}
 	rec, eng := p.rec, p.eng
-	if tr := reqtrace.FromContext(ctx); tr != nil {
+	tr := reqtrace.FromContext(ctx)
+	if tr != nil {
 		rec = obs.Tee(p.rec, tr)
 		eng = eng.WithRecorder(rec)
 	}
+	var t0 time.Time
+	if tr != nil && p.slot != nil {
+		t0 = time.Now()
+	}
+	var err error
 	if ctx.Done() == nil {
 		p.runRec(dst, a, b, nil, rec, eng)
-		return nil
+	} else {
+		cn, stop := parallel.WatchContext(ctx)
+		defer stop()
+		p.runRec(dst, a, b, cn, rec, eng)
+		err = ctx.Err()
 	}
-	cn, stop := parallel.WatchContext(ctx)
-	defer stop()
-	p.runRec(dst, a, b, cn, rec, eng)
-	return ctx.Err()
+	// A completed traced execution becomes a plan exemplar: /debug/plans
+	// links the slot's slowest and most recent trace IDs into the
+	// /debug/requests span viewer. Canceled executions are skipped — a
+	// truncated duration would win the "slowest" slot meaninglessly.
+	if tr != nil && p.slot != nil && err == nil {
+		id := tr.ID()
+		p.slot.ExemplarTrace(id.Hi, id.Lo, time.Since(t0))
+	}
+	return err
 }
 
 //abmm:hotpath
@@ -302,6 +368,13 @@ func (p *Plan) runRec(dst, a, b *matrix.Matrix, cn *parallel.Cancel, rec obs.Rec
 		panic(matrix.ErrShape)
 	}
 	w := p.workers
+	// Per-plan attribution times the execution independently of the
+	// recorder's MulSpan (the slot outlives any one recorder). Guarded so
+	// registry-less plans pay only the nil check.
+	var t0 time.Time
+	if p.slot != nil {
+		t0 = time.Now()
+	}
 	ms := obs.StartMul(rec, p.info)
 	if p.levels == 0 {
 		// A level-0 plan is one packed-kernel call; the arena supplies
@@ -312,6 +385,9 @@ func (p *Plan) runRec(dst, a, b *matrix.Matrix, cn *parallel.Cancel, rec obs.Rec
 		ps.End()
 		p.release(ar)
 		ms.End()
+		if p.slot != nil {
+			p.slot.Record(time.Since(t0))
+		}
 		if !cn.Canceled() {
 			p.maybeSampleError(dst, a, b)
 		}
@@ -419,6 +495,9 @@ func (p *Plan) runRec(dst, a, b *matrix.Matrix, cn *parallel.Cancel, rec obs.Rec
 		})
 	}
 	ms.End()
+	if p.slot != nil {
+		p.slot.Record(time.Since(t0))
+	}
 	// Never sample a canceled execution: dst holds garbage, and a
 	// garbage "measured error" would poison the accuracy histograms.
 	if !cn.Canceled() {
@@ -448,7 +527,10 @@ func (p *Plan) maybeSampleError(dst, a, b *matrix.Matrix) {
 	if denom := a.MaxNorm() * b.MaxNorm(); denom > 0 {
 		measured /= denom
 	}
-	p.sampler.ErrorSample(measured, p.errBound)
+	if p.sampler != nil {
+		p.sampler.ErrorSample(measured, p.errBound)
+	}
+	p.slot.ErrorSample(measured, p.errBound)
 }
 
 // Multiply is the allocating convenience form of MultiplyInto.
@@ -524,7 +606,9 @@ func (pc *planCache) get(key PlanKey, compile func() *Plan) *Plan {
 	for pc.order.Len() > cap {
 		old := pc.order.Back()
 		pc.order.Remove(old)
-		delete(pc.entries, old.Value.(*Plan).key)
+		op := old.Value.(*Plan)
+		delete(pc.entries, op.key)
+		op.retire()
 		pc.evictions.Add(1)
 	}
 	return p

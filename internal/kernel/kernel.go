@@ -24,6 +24,7 @@
 package kernel
 
 import (
+	"fmt"
 	"time"
 
 	"abmm/internal/matrix"
@@ -64,6 +65,14 @@ func (b Blocking) normalized() Blocking {
 	b.MC = roundUp(b.MC, MR)
 	b.NC = roundUp(b.NC, NR)
 	return b
+}
+
+// Label renders the normalized blocking as "mcxkcxnc" — the kernel
+// identity component of a plan key, stable across zero-value and
+// explicit-default configurations because normalization runs first.
+func (b Blocking) Label() string {
+	b = b.normalized()
+	return fmt.Sprintf("%dx%dx%d", b.MC, b.KC, b.NC)
 }
 
 // PanelBytes returns the packed-panel workspace in bytes that one

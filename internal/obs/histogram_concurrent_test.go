@@ -1,0 +1,81 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestHistogramConcurrentResetSnapshot exercises the windowed-use
+// contract under the race detector (`make race` runs this package):
+// concurrent Observe, Reset, and Snapshot must be data-race free, and
+// every snapshot must be internally sane — never negative, never a
+// bucket total exceeding the observation count by more than the
+// documented in-flight fraction.
+func TestHistogramConcurrentResetSnapshot(t *testing.T) {
+	var h Histogram
+	const (
+		writers = 4
+		perG    = 2000
+	)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+
+	for g := 0; g < writers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				h.Observe(int64(g*1000 + i))
+			}
+		}(g)
+	}
+	// Windowed reader: snapshot then reset, as a rolling exporter would.
+	// Its own WaitGroup: it runs until the writers drain and stop closes.
+	var rg sync.WaitGroup
+	rg.Add(1)
+	go func() {
+		defer rg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			s := h.Snapshot()
+			if s.Count < 0 || s.Sum < 0 || s.Max < 0 {
+				t.Error("negative snapshot field")
+				return
+			}
+			var bucketTotal int64
+			for _, c := range s.Buckets {
+				if c < 0 {
+					t.Error("negative bucket count")
+					return
+				}
+				bucketTotal += c
+			}
+			// Fields are read one by one while writers run, so count and
+			// buckets may each be off by the in-flight writers — but a
+			// bucket total beyond count + writers (or vice versa) would
+			// mean corruption, with the reset allowed to clear any prefix.
+			if bucketTotal > s.Count+writers+1 && s.Count > 0 {
+				t.Errorf("bucket total %d far exceeds count %d", bucketTotal, s.Count)
+				return
+			}
+			h.Reset()
+		}
+	}()
+
+	wg.Wait()
+	close(stop)
+	rg.Wait()
+
+	// After quiescence one final windowed cycle must be exact.
+	h.Reset()
+	h.Observe(7)
+	h.Observe(9)
+	s := h.Snapshot()
+	if s.Count != 2 || s.Sum != 16 || s.Max != 9 {
+		t.Errorf("post-quiescence snapshot = count %d sum %d max %d", s.Count, s.Sum, s.Max)
+	}
+}

@@ -1,0 +1,143 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+// testSLO returns an engine whose clock the test drives by hand: the
+// window is 60s, so one bucket spans 1s and the short window 5s.
+func testSLO(cfg SLOConfig) (*SLO, *time.Time) {
+	s := NewSLO(cfg)
+	now := time.Unix(1000, 0)
+	s.now = func() time.Time { return now }
+	s.start = now
+	return s, &now
+}
+
+func TestSLODisabledAndNil(t *testing.T) {
+	if s := NewSLO(SLOConfig{}); s != nil {
+		t.Error("zero config built an engine")
+	}
+	var s *SLO
+	s.RecordLatency(time.Second)
+	s.ErrorSample(1, 1e-15)
+	st := s.Status()
+	if !st.Ready || st.Enabled || st.ShedProbability != 0 {
+		t.Errorf("nil engine status = %+v, want ready/disabled/no-shed", st)
+	}
+	if !s.Ready() || s.ShedProbability() != 0 {
+		t.Error("nil engine convenience methods disagree")
+	}
+	if s.Config() != (SLOConfig{}) {
+		t.Error("nil engine config not zero")
+	}
+}
+
+func TestSLOLatencyBurnAndRecovery(t *testing.T) {
+	s, now := testSLO(SLOConfig{LatencyP99: 10 * time.Millisecond, Window: time.Minute})
+	if !s.Ready() {
+		t.Fatal("fresh engine not ready")
+	}
+
+	// 100% bad events: burn rate 1/0.01 = 100 in both windows.
+	for i := 0; i < 50; i++ {
+		s.RecordLatency(50 * time.Millisecond)
+	}
+	st := s.Status()
+	if st.Ready || !st.Latency.Burning {
+		t.Fatalf("engine ready under full burn: %+v", st)
+	}
+	if st.Latency.Short.Burn != 100 || st.Latency.Long.Burn != 100 {
+		t.Errorf("burn = %g/%g, want 100/100", st.Latency.Short.Burn, st.Latency.Long.Burn)
+	}
+	if st.ShedProbability != 1 {
+		t.Errorf("shed = %g, want 1 at burn 100", st.ShedProbability)
+	}
+
+	// Recovery by wall time alone: past the short window (5s) the short
+	// burn clears and readiness returns, with no new events needed.
+	*now = now.Add(6 * time.Second)
+	st = s.Status()
+	if !st.Ready {
+		t.Fatalf("not ready after the short window cleared: %+v", st)
+	}
+	if st.Latency.Long.Burn != 100 {
+		t.Errorf("long burn = %g, want 100 (bad events still in the long window)", st.Latency.Long.Burn)
+	}
+
+	// Past the long window everything ages out.
+	*now = now.Add(61 * time.Second)
+	st = s.Status()
+	if st.Latency.Long.Total != 0 {
+		t.Errorf("long window still holds %d events after expiry", st.Latency.Long.Total)
+	}
+}
+
+func TestSLOWithinObjective(t *testing.T) {
+	s, _ := testSLO(SLOConfig{LatencyP99: 10 * time.Millisecond, Window: time.Minute})
+	for i := 0; i < 1000; i++ {
+		s.RecordLatency(time.Millisecond)
+	}
+	st := s.Status()
+	if !st.Ready || st.Latency.Short.Burn != 0 || st.ShedProbability != 0 {
+		t.Errorf("fast traffic burned budget: %+v", st)
+	}
+}
+
+func TestSLOShedRamp(t *testing.T) {
+	s, _ := testSLO(SLOConfig{LatencyP99: 10 * time.Millisecond, Window: time.Minute})
+	// 5.5% bad → burn 5.5 → shed (5.5−1)/9 = 0.5.
+	for i := 0; i < 945; i++ {
+		s.RecordLatency(time.Millisecond)
+	}
+	for i := 0; i < 55; i++ {
+		s.RecordLatency(time.Second)
+	}
+	got := s.ShedProbability()
+	if got < 0.49 || got > 0.51 {
+		t.Errorf("shed = %g, want 0.5 at burn 5.5", got)
+	}
+}
+
+func TestSLOErrorObjective(t *testing.T) {
+	s, _ := testSLO(SLOConfig{ErrorRatioMax: 10, Window: time.Minute})
+	// Within the objective: measured well under 10x the bound.
+	s.ErrorSample(1e-15, 1e-15)
+	st := s.Status()
+	if st.Errors.Short.Bad != 0 {
+		t.Errorf("in-bound sample counted bad: %+v", st.Errors)
+	}
+	// Breach: measured beyond 10x the bound, and a degenerate bound.
+	s.ErrorSample(2e-14, 1e-15)
+	s.ErrorSample(1e-15, 0)
+	st = s.Status()
+	if st.Errors.Short.Bad != 2 || st.Errors.Short.Total != 3 {
+		t.Errorf("bad/total = %d/%d, want 2/3", st.Errors.Short.Bad, st.Errors.Short.Total)
+	}
+	if st.Ready {
+		t.Error("ready while the error objective burns in both windows")
+	}
+	// Latency objective is off: its status stays zero.
+	s.RecordLatency(time.Hour)
+	if st := s.Status(); st.Latency.Short.Total != 0 {
+		t.Error("disabled latency objective recorded events")
+	}
+}
+
+func TestSLOConfigEnabled(t *testing.T) {
+	cases := []struct {
+		cfg  SLOConfig
+		want bool
+	}{
+		{SLOConfig{}, false},
+		{SLOConfig{Window: time.Hour}, false},
+		{SLOConfig{LatencyP99: time.Millisecond}, true},
+		{SLOConfig{ErrorRatioMax: 2}, true},
+	}
+	for _, c := range cases {
+		if got := c.cfg.Enabled(); got != c.want {
+			t.Errorf("Enabled(%+v) = %t, want %t", c.cfg, got, c.want)
+		}
+	}
+}

@@ -71,6 +71,10 @@ func (s *Store) Handler() http.Handler {
 			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
 			return
 		}
+		if idStr := r.URL.Query().Get("id"); idStr != "" {
+			s.serveTrace(w, r, idStr)
+			return
+		}
 		if wantJSON(r) {
 			w.Header().Set("Content-Type", "application/json; charset=utf-8")
 			enc := json.NewEncoder(w)
@@ -81,6 +85,44 @@ func (s *Store) Handler() http.Handler {
 		w.Header().Set("Content-Type", "text/html; charset=utf-8")
 		writeHTML(w, s.Page())
 	})
+}
+
+// serveTrace handles ?id=<32 hex digits>: the single-trace lookup the
+// /debug/plans exemplar links target. 404 when the trace has aged out
+// of every ring (rings are bounded; exemplars can outlive them).
+func (s *Store) serveTrace(w http.ResponseWriter, r *http.Request, idStr string) {
+	id, err := ParseID(idStr)
+	if err != nil {
+		http.Error(w, "bad trace id: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	t := s.Lookup(id)
+	if t == nil {
+		http.Error(w, "trace not found (aged out of the rings?)", http.StatusNotFound)
+		return
+	}
+	snap := t.Snapshot()
+	if wantJSON(r) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(snap)
+		return
+	}
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	fmt.Fprintf(w, `<!DOCTYPE html>
+<html><head><title>abmm trace %s</title><style>
+body{font-family:sans-serif;margin:1.5em}
+pre{font-family:monospace;margin:.3em 0 .8em;line-height:1.35}
+summary{cursor:pointer;font-family:monospace}
+.ok{color:#176e2c}.error{color:#b3261e}.canceled{color:#8a6d00}
+.meta{color:#555;font-size:.9em}
+</style></head><body>
+<h1>abmm trace</h1>
+<p class=meta><a href="/debug/requests">all requests</a> · <a href="?id=%s&amp;format=json">json</a></p>
+`, html.EscapeString(snap.ID), html.EscapeString(snap.ID))
+	writeTraceHTML(w, snap)
+	fmt.Fprint(w, "</body></html>\n")
 }
 
 func wantJSON(r *http.Request) bool {

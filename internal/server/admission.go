@@ -21,6 +21,7 @@ import (
 var (
 	errQueueFull    = errors.New("server: admission queue full")
 	errQueueTimeout = errors.New("server: timed out waiting for an execution slot")
+	errSLOShed      = errors.New("server: shedding load to protect the service objective")
 )
 
 // gate is a two-stage admission regulator: a semaphore of execution
@@ -36,6 +37,14 @@ type gate struct {
 	admitted        atomic.Int64
 	rejectedFull    atomic.Int64
 	rejectedTimeout atomic.Int64
+	rejectedShed    atomic.Int64
+
+	// shed, when set, returns the SLO engine's current shed probability
+	// in [0, 1]: the fraction of would-be-queued requests to reject
+	// before the objective is violated. Consulted only when no execution
+	// slot is free — an idle server never sheds.
+	shed     func() float64
+	shedTick atomic.Int64
 }
 
 func newGate(maxInFlight, maxQueued int, timeout time.Duration) *gate {
@@ -73,6 +82,20 @@ func (g *gate) acquire(ctx context.Context) (release func(), queued bool, err er
 		g.admitted.Add(1)
 		return release, false, nil
 	default:
+	}
+	// No free slot: before taking a queue position, honor the SLO
+	// engine's shed hint. Shedding is deterministic rather than random —
+	// tick·61 mod 100 (61 coprime to 100) spreads the shed positions
+	// evenly through each cycle of 100 contended requests — so tests and
+	// replays see stable behavior at a given probability.
+	if g.shed != nil {
+		if p := g.shed(); p > 0 {
+			tick := g.shedTick.Add(1)
+			if (tick*61)%100 < int64(p*100+0.5) {
+				g.rejectedShed.Add(1)
+				return nil, false, errSLOShed
+			}
+		}
 	}
 	if q := g.queued.Add(1); q > g.maxQueued {
 		g.queued.Add(-1)

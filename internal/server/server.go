@@ -85,6 +85,19 @@ type Config struct {
 	// TraceRing is the per-bucket capacity of the /debug/requests rings;
 	// 0 defaults to reqtrace.DefaultRingSize.
 	TraceRing int
+	// SLO declares the service objectives (latency p99, measured-error
+	// ratio, burn-rate window). The zero value disables the SLO engine:
+	// /readyz then reports ready whenever the server is not draining.
+	// With objectives set, a multi-window burn rate over them drives
+	// /readyz (503 while both windows burn) and feeds the admission gate
+	// a shed-probability hint so overload is refused before the
+	// objective is violated. See obs.SLOConfig.
+	SLO obs.SLOConfig
+	// MaxPlans bounds the per-plan telemetry registry behind
+	// /debug/plans and the abmm_plan_* metric families; 0 defaults to
+	// obs.DefaultMaxPlans. Plans beyond the bound share one "other"
+	// slot.
+	MaxPlans int
 }
 
 func (c Config) withDefaults() Config {
@@ -161,6 +174,14 @@ type Server struct {
 	log       *slog.Logger
 	traces    *reqtrace.Store
 	traceTick atomic.Int64 // sampling counter for TraceSample > 1
+
+	// Per-plan attribution and SLO-driven readiness: plans backs
+	// /debug/plans and the abmm_plan_* families (shared by every
+	// Multiplier in mus); slo (nil when Config.SLO is zero) drives
+	// /readyz and the gate's shed hint; started anchors /healthz uptime.
+	plans   *obs.PlanRegistry
+	slo     *obs.SLO
+	started time.Time
 }
 
 // trackedCodes are the response codes counted individually in
@@ -182,13 +203,19 @@ const statusClientClosedRequest = 499
 func New(cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
 	s := &Server{
-		cfg:    cfg,
-		rec:    cfg.Collector,
-		gate:   newGate(cfg.MaxInFlight, cfg.MaxQueued, cfg.QueueTimeout),
-		algs:   make(map[string]bool, len(cfg.Algorithms)),
-		mus:    make(map[muKey]*abmm.Multiplier),
-		log:    cfg.Logger,
-		traces: reqtrace.NewStore(cfg.TraceRing, cfg.TraceSlow),
+		cfg:     cfg,
+		rec:     cfg.Collector,
+		gate:    newGate(cfg.MaxInFlight, cfg.MaxQueued, cfg.QueueTimeout),
+		algs:    make(map[string]bool, len(cfg.Algorithms)),
+		mus:     make(map[muKey]*abmm.Multiplier),
+		log:     cfg.Logger,
+		traces:  reqtrace.NewStore(cfg.TraceRing, cfg.TraceSlow),
+		plans:   obs.NewPlanRegistry(cfg.MaxPlans),
+		slo:     obs.NewSLO(cfg.SLO),
+		started: time.Now(),
+	}
+	if s.slo != nil {
+		s.gate.shed = s.slo.ShedProbability
 	}
 	for _, name := range cfg.Algorithms {
 		if _, err := abmm.Lookup(name); err != nil {
@@ -204,9 +231,11 @@ func New(cfg Config) (*Server, error) {
 	mux.HandleFunc("/v1/multiply", s.handleMultiply)
 	mux.HandleFunc("/v1/algorithms", s.handleAlgorithms)
 	mux.HandleFunc("/healthz", s.handleHealth)
+	mux.HandleFunc("/readyz", s.handleReady)
 	mux.HandleFunc("/", s.handleIndex)
 	abmm.MountStats(mux, s.rec, s.writeMetrics)
 	obs.MountDebug(mux, "/debug/requests", s.traces.Handler())
+	obs.MountDebug(mux, "/debug/plans", s.plans.Handler())
 	s.mux = mux
 	return s, nil
 }
@@ -339,12 +368,36 @@ func (s *Server) multiplier(alg string, levels int) (*abmm.Multiplier, error) {
 		mu = abmm.NewMultiplier(a, abmm.Options{
 			Levels:           levels,
 			Workers:          s.cfg.Workers,
-			Recorder:         s.rec,
+			Recorder:         s.engineRecorder(),
 			ErrorSampleEvery: s.cfg.ErrorSampleEvery,
+			Plans:            s.plans,
 		})
 		s.mus[key] = mu
 	}
 	return mu, nil
+}
+
+// engineRecorder is what the shared multipliers record through: the
+// collector alone, or — when an error objective is configured — the
+// collector with sampled error measurements teed to the SLO engine.
+func (s *Server) engineRecorder() abmm.Recorder {
+	if s.slo == nil {
+		return s.rec
+	}
+	return sloRecorder{Collector: s.rec, slo: s.slo}
+}
+
+// sloRecorder forwards sampled accuracy measurements to the SLO engine
+// on top of the collector's own recording. The embedded Collector
+// supplies every other Recorder (and PprofLabeler) method.
+type sloRecorder struct {
+	*abmm.Collector
+	slo *obs.SLO
+}
+
+func (r sloRecorder) ErrorSample(measured, bound float64) {
+	r.Collector.ErrorSample(measured, bound)
+	r.slo.ErrorSample(measured, bound)
 }
 
 // jsonRequest is the JSON echo mode of /v1/multiply, for small
@@ -360,9 +413,12 @@ type jsonRequest struct {
 // jsonResponse mirrors the binary response plus the metadata that
 // travels in headers for binary clients.
 type jsonResponse struct {
-	C          [][]float64 `json:"c"`
-	Alg        string      `json:"alg"`
-	Levels     int         `json:"levels"`
+	C   [][]float64 `json:"c"`
+	Alg string      `json:"alg"`
+	// Plan is the compiled plan identity "alg/L<levels>/<schedule>",
+	// also echoed as the X-Abmm-Plan header for binary clients.
+	Plan   string `json:"plan"`
+	Levels int    `json:"levels"`
 	QueueNs    int64       `json:"queue_ns"`
 	ExecNs     int64       `json:"exec_ns"`
 	ErrorBound float64     `json:"error_bound"`
@@ -509,7 +565,7 @@ func (s *Server) handleMultiply(w http.ResponseWriter, r *http.Request) {
 			adm.Observe("queue", admStart, admWait)
 		}
 		switch {
-		case errors.Is(err, errQueueFull), errors.Is(err, errQueueTimeout):
+		case errors.Is(err, errQueueFull), errors.Is(err, errQueueTimeout), errors.Is(err, errSLOShed):
 			w.Header().Set("Retry-After", strconv.Itoa(s.gate.retryAfterSeconds()))
 			s.failReq(w, tr, http.StatusTooManyRequests, err.Error())
 		default:
@@ -545,6 +601,10 @@ func (s *Server) handleMultiply(w http.ResponseWriter, r *http.Request) {
 	err = plan.MultiplyIntoCtx(ctx, dst, req.A, req.B)
 	exec.End()
 	if err != nil {
+		// A canceled or timed-out execution still spends the objective's
+		// budget: record its wall time so the burn rate sees overload
+		// even when nothing completes.
+		s.slo.RecordLatency(time.Since(start))
 		s.failCtxReq(w, tr, ctx)
 		return
 	}
@@ -552,6 +612,7 @@ func (s *Server) handleMultiply(w http.ResponseWriter, r *http.Request) {
 
 	h := w.Header()
 	h.Set("X-Abmm-Alg", req.Alg)
+	h.Set("X-Abmm-Plan", plan.Desc())
 	h.Set("X-Abmm-Levels", strconv.Itoa(plan.Levels()))
 	h.Set("X-Abmm-Queue-Ns", strconv.FormatInt(queueNs, 10))
 	h.Set("X-Abmm-Exec-Ns", strconv.FormatInt(execNs, 10))
@@ -567,7 +628,7 @@ func (s *Server) handleMultiply(w http.ResponseWriter, r *http.Request) {
 	if isJSON {
 		h.Set("Content-Type", "application/json")
 		resp := jsonResponse{
-			C: toRows(dst), Alg: req.Alg, Levels: plan.Levels(),
+			C: toRows(dst), Alg: req.Alg, Plan: plan.Desc(), Levels: plan.Levels(),
 			QueueNs: queueNs, ExecNs: execNs,
 			ErrorBound: plan.ErrorBound(), Coalesced: joined,
 		}
@@ -579,7 +640,9 @@ func (s *Server) handleMultiply(w http.ResponseWriter, r *http.Request) {
 		EncodeResponse(w, dst)
 	}
 	enc.End()
-	s.reqDur.Observe(time.Since(start).Nanoseconds())
+	elapsed := time.Since(start)
+	s.reqDur.Observe(elapsed.Nanoseconds())
+	s.slo.RecordLatency(elapsed)
 	s.finishTrace(tr, reqtrace.OutcomeOK, "")
 	s.reqLog(tr).Info("multiply ok",
 		"alg", req.Alg, "levels", plan.Levels(),
@@ -616,14 +679,51 @@ func (s *Server) handleAlgorithms(w http.ResponseWriter, r *http.Request) {
 	json.NewEncoder(w).Encode(out)
 }
 
+// handleHealth is liveness: 200 while the process serves, 503 once it
+// drains. The JSON body tells probes and humans *why* — drain state,
+// uptime, and current load — instead of a bare status line.
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
-	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	if s.draining.Load() {
-		w.WriteHeader(http.StatusServiceUnavailable)
-		io.WriteString(w, "draining\n")
-		return
+	draining := s.draining.Load()
+	status := "ok"
+	if draining {
+		status = "draining"
 	}
-	fmt.Fprintf(w, "ok in_flight=%d queued=%d\n", s.gate.inFlight.Load(), s.gate.queued.Load())
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	if draining {
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}
+	json.NewEncoder(w).Encode(struct {
+		Status        string  `json:"status"`
+		Draining      bool    `json:"draining"`
+		UptimeSeconds float64 `json:"uptime_seconds"`
+		InFlight      int64   `json:"in_flight"`
+		Queued        int64   `json:"queued"`
+	}{
+		Status:        status,
+		Draining:      draining,
+		UptimeSeconds: time.Since(s.started).Seconds(),
+		InFlight:      s.gate.inFlight.Load(),
+		Queued:        s.gate.queued.Load(),
+	})
+}
+
+// handleReady is readiness: 503 while draining or while the SLO engine
+// reports an objective burning in both windows, 200 otherwise. The body
+// carries the full burn-rate status so an operator sees which objective
+// tripped and how hard.
+func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
+	draining := s.draining.Load()
+	st := s.slo.Status()
+	ready := st.Ready && !draining
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	if !ready {
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}
+	json.NewEncoder(w).Encode(struct {
+		Ready    bool          `json:"ready"`
+		Draining bool          `json:"draining"`
+		SLO      obs.SLOStatus `json:"slo"`
+	}{Ready: ready, Draining: draining, SLO: st})
 }
 
 func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
@@ -636,9 +736,11 @@ func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
 
 POST /v1/multiply     multiply two matrices (binary frame or JSON)
 GET  /v1/algorithms   served algorithm catalog
-GET  /healthz         liveness + drain state
+GET  /healthz         liveness + drain state (JSON)
+GET  /readyz          SLO-driven readiness (JSON burn-rate status)
 GET  /metrics         Prometheus text format (engine + server families)
 GET  /debug/requests  recent request traces (HTML tree or ?format=json)
+GET  /debug/plans     per-plan latency/GFLOPS/error attribution
 GET  /debug/vars      expvar JSON
 GET  /debug/pprof     pprof profiles
 `)
@@ -677,6 +779,7 @@ func (s *Server) writeMetrics(w io.Writer) {
 	fmt.Fprintf(w, "# HELP abmm_server_rejected_total Requests shed by admission control.\n# TYPE abmm_server_rejected_total counter\n")
 	fmt.Fprintf(w, "abmm_server_rejected_total{reason=\"queue_full\"} %d\n", s.gate.rejectedFull.Load())
 	fmt.Fprintf(w, "abmm_server_rejected_total{reason=\"queue_timeout\"} %d\n", s.gate.rejectedTimeout.Load())
+	fmt.Fprintf(w, "abmm_server_rejected_total{reason=\"slo_shed\"} %d\n", s.gate.rejectedShed.Load())
 
 	fmt.Fprintf(w, "# HELP abmm_server_canceled_total Requests abandoned mid-flight.\n# TYPE abmm_server_canceled_total counter\n")
 	fmt.Fprintf(w, "abmm_server_canceled_total{cause=\"deadline\"} %d\n", s.canceledDeadline.Load())
@@ -712,7 +815,51 @@ func (s *Server) writeMetrics(w io.Writer) {
 		"Full request wall time (parse, queue, execute, encode) in seconds.", s.reqDur.Snapshot(), 1e-9)
 	obs.WriteHistogram(w, "abmm_server_queue_wait_seconds",
 		"Admission wait (parse to execution slot) in seconds.", s.queueWait.Snapshot(), 1e-9)
+
+	// Plan-cache counters summed across the shared multipliers: the
+	// CacheStats that until now were only reachable as a Stats string.
+	var cs abmm.CacheStats
+	s.musMu.RLock()
+	for _, mu := range s.mus {
+		st := mu.Stats()
+		cs.Hits += st.Hits
+		cs.Misses += st.Misses
+		cs.Evictions += st.Evictions
+		cs.Plans += st.Plans
+		cs.ArenaBytes += st.ArenaBytes
+	}
+	s.musMu.RUnlock()
+	counter("abmm_plan_cache_hits_total", "Plan-cache lookups served by a cached plan, all multipliers.", int64(cs.Hits))
+	counter("abmm_plan_cache_misses_total", "Plan-cache lookups that compiled a new plan, all multipliers.", int64(cs.Misses))
+	counter("abmm_plan_cache_evictions_total", "Plans dropped by the LRU policy, all multipliers.", int64(cs.Evictions))
+	gauge("abmm_plan_cache_plans", "Plans currently cached across all multipliers.", int64(cs.Plans))
+	gauge("abmm_plan_cache_arena_bytes", "Summed per-plan high-water workspace bytes retained by the caches.", cs.ArenaBytes)
+
+	// SLO burn state (a disabled engine reports ready=1, shed=0), then
+	// the per-plan attribution families.
+	st := s.slo.Status()
+	var ready, enabled int64
+	if st.Ready {
+		ready = 1
+	}
+	if st.Enabled {
+		enabled = 1
+	}
+	gauge("abmm_slo_enabled", "1 when latency/error objectives are configured.", enabled)
+	gauge("abmm_slo_ready", "1 while every objective is within budget (what /readyz reports, drain aside).", ready)
+	fmt.Fprintf(w, "# HELP abmm_slo_shed_probability Admission shed hint from the short-window burn rate.\n# TYPE abmm_slo_shed_probability gauge\nabmm_slo_shed_probability %s\n", fnum(st.ShedProbability))
+	fmt.Fprintf(w, "# HELP abmm_slo_burn_rate Error-budget burn rate per objective and window.\n# TYPE abmm_slo_burn_rate gauge\n")
+	fmt.Fprintf(w, "abmm_slo_burn_rate{objective=\"latency\",window=\"long\"} %s\n", fnum(st.Latency.Long.Burn))
+	fmt.Fprintf(w, "abmm_slo_burn_rate{objective=\"latency\",window=\"short\"} %s\n", fnum(st.Latency.Short.Burn))
+	fmt.Fprintf(w, "abmm_slo_burn_rate{objective=\"errors\",window=\"long\"} %s\n", fnum(st.Errors.Long.Burn))
+	fmt.Fprintf(w, "abmm_slo_burn_rate{objective=\"errors\",window=\"short\"} %s\n", fnum(st.Errors.Short.Burn))
+
+	s.plans.WritePlanMetrics(w)
 }
+
+// fnum formats a float the shortest way that round-trips (the
+// Prometheus text-format convention for non-integer samples).
+func fnum(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
 
 // decodeJSONRequest parses the JSON echo mode and validates it against
 // the same element caps as the binary frame.

@@ -206,6 +206,37 @@ func TestMultiplyIntoZeroAllocRecorder(t *testing.T) {
 	}
 }
 
+// TestMultiplyIntoZeroAllocPlanRegistry extends the warm-path
+// guarantee to per-plan attribution: with a PlanRegistry attached the
+// slot is claimed once at compile time and every warm execution records
+// latency/arena marks through atomics alone — still zero allocations.
+func TestMultiplyIntoZeroAllocPlanRegistry(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts differ under the race detector")
+	}
+	alg, _ := abmm.Lookup("ours")
+	const n = 128
+	a, b, dst := abmm.NewMatrix(n, n), abmm.NewMatrix(n, n), abmm.NewMatrix(n, n)
+	a.FillUniform(abmm.Rand(1), -1, 1)
+	b.FillUniform(abmm.Rand(2), -1, 1)
+	reg := abmm.NewPlanRegistry(0)
+	mu := abmm.NewMultiplier(alg, abmm.Options{Levels: 2, Workers: 1, Plans: reg})
+	mu.MultiplyInto(dst, a, b)
+	mu.MultiplyInto(dst, a, b)
+	if av := testing.AllocsPerRun(10, func() { mu.MultiplyInto(dst, a, b) }); av != 0 {
+		t.Fatalf("warm MultiplyInto with PlanRegistry allocated %.1f objects/op, want 0", av)
+	}
+	// The slot saw every execution on that zero-alloc path.
+	page := reg.Page()
+	if len(page.Plans) != 1 || page.Plans[0].Execs < 12 {
+		t.Fatalf("plan slot missed warm runs: %+v", page)
+	}
+	if ps := page.Plans[0]; ps.Latency.Count != ps.Execs || !(ps.Latency.P50 > 0) ||
+		ps.ArenaHighWaterBytes <= 0 {
+		t.Fatalf("plan slot telemetry incoherent: %+v", ps)
+	}
+}
+
 // TestErrorSamplingThroughFacade drives Options.ErrorSampleEvery
 // through the public API: sampled multiplications report a measured
 // relative error that sits inside the predicted stability bound.
