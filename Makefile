@@ -27,10 +27,13 @@ race:
 vet:
 	$(GO) vet ./...
 
-# Repository-specific static analysis (see DESIGN.md §2c): type-checks
-# every package and enforces the hotpath-alloc, atomic-consistency,
-# float-discipline, rat-aliasing, and import-allowlist invariants.
-# Nonzero exit on any finding.
+# Repository-specific static analysis (see DESIGN.md §2c and §2h):
+# type-checks every package and enforces the kernel invariants
+# (hotpath-alloc, atomic-consistency, atomic-alignment,
+# float-discipline, rat-aliasing, import-allowlist) and the serving-
+# layer invariants (resource-pairing, ctx-discipline, lock-discipline,
+# goroutine-lifecycle, metric-cardinality), with unjustified-allow
+# keeping every suppression accountable. Nonzero exit on any finding.
 lint:
 	$(GO) run ./cmd/abmmvet ./...
 

@@ -306,6 +306,9 @@ func Lookup(name string) (*Algorithm, error) {
 	if !ok {
 		return nil, fmt.Errorf("abmm: unknown algorithm %q (have %v)", name, Names())
 	}
+	// Construction runs under cacheMu deliberately: concurrent Lookups
+	// of one name must not derive the exact basis twice.
+	//abmm:allow lock-discipline
 	alg := ctor()
 	algCache[name] = alg
 	return alg, nil

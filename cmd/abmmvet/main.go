@@ -1,6 +1,10 @@
 // Command abmmvet runs the repository's static-analysis suite
-// (internal/lint) over the module: hotpath-alloc, atomic-consistency,
-// float-discipline, rat-aliasing, and import-allowlist.
+// (internal/lint) over the module: the numerical-kernel checks
+// (hotpath-alloc, atomic-consistency, atomic-alignment,
+// float-discipline, rat-aliasing, import-allowlist) and the serving-
+// layer checks (resource-pairing, ctx-discipline, lock-discipline,
+// goroutine-lifecycle, metric-cardinality), plus the unjustified-allow
+// rule that keeps every suppression accountable.
 //
 // Usage:
 //
@@ -8,7 +12,9 @@
 //
 // The argument selects the module root (default "."); the go-style
 // "./..." spelling is accepted and means the same thing — the suite
-// always analyzes the whole module, tests included. Exit status: 0
+// always analyzes the whole module, tests included. On every run the
+// active check roster is printed to stderr, so CI can assert that the
+// suite it gates with is the suite it thinks it has. Exit status: 0
 // clean, 1 findings, 2 the module failed to load or type-check.
 package main
 
@@ -29,6 +35,8 @@ func main() {
 			dir = "."
 		}
 	}
+	checks := lint.CheckNames()
+	fmt.Fprintf(os.Stderr, "abmmvet: %d check(s): %s\n", len(checks), strings.Join(checks, " "))
 	findings, err := lint.Run(lint.DefaultConfig(dir))
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "abmmvet:", err)

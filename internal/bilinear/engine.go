@@ -243,6 +243,9 @@ func (e *Engine) recurse(c, a, b *matrix.Matrix, level int, al pool.Allocator, c
 	// case emits a named region, so `go tool trace` shows the recursion
 	// tree under the per-multiplication task (see internal/obs).
 	if level > 0 && trace.IsEnabled() {
+		// Trace regions are process-scoped; cancellation travels in cn,
+		// not a context, so there is no caller ctx to sever.
+		//abmm:allow ctx-discipline
 		defer trace.StartRegion(context.Background(), e.regionNames[level]).End()
 	}
 	if level == 0 {
@@ -355,6 +358,7 @@ func (e *Engine) sequential(c, a, b *matrix.Matrix, level int, al pool.Allocator
 	var touchedBuf [32]bool
 	touched := touchedBuf[:]
 	if s.DW() > len(touchedBuf) {
+		// Cold spill: no catalog algorithm exceeds the stack table.
 		//abmm:allow hotpath-alloc
 		touched = make([]bool, s.DW())
 	}

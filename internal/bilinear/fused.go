@@ -69,17 +69,21 @@ func (e *Engine) fusedStep(c, a, b *matrix.Matrix, al pool.Allocator, cn *parall
 	var outBuf [maxFusedDim]kernel.Out
 	touched, at, bt, outs := touchedBuf[:], atBuf[:], btBuf[:], outBuf[:]
 	if s.DW() > len(touchedBuf) {
+		// Cold spill: no catalog algorithm exceeds the stack tables.
 		//abmm:allow hotpath-alloc
 		touched = make([]bool, s.DW())
+		// Same cold spill for the write-out table.
 		//abmm:allow hotpath-alloc
 		outs = make([]kernel.Out, s.DW())
 	}
 	touched = touched[:s.DW()]
 	if s.DU() > len(atBuf) {
+		// Cold spill for the A-side term table.
 		//abmm:allow hotpath-alloc
 		at = make([]kernel.Term, s.DU())
 	}
 	if s.DV() > len(btBuf) {
+		// Cold spill for the B-side term table.
 		//abmm:allow hotpath-alloc
 		bt = make([]kernel.Term, s.DV())
 	}

@@ -111,6 +111,7 @@ func (mu *Multiplier) Levels(m, k, n int) int {
 // called only on a cache miss and never escapes get; the capture is
 // cold-start cost, not warm-path cost.
 func (mu *Multiplier) Plan(m, k, n int) *Plan {
+	// The compile closure's capture is cold-start cost (see doc above).
 	//abmm:allow hotpath-alloc
 	return mu.cache.get(PlanKey{M: m, K: k, N: n}, func() *Plan {
 		return NewPlan(mu.Alg, mu.Opt, m, k, n)

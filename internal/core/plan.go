@@ -597,6 +597,9 @@ func (pc *planCache) get(key PlanKey, compile func() *Plan) *Plan {
 		return el.Value.(*Plan)
 	}
 	pc.misses.Add(1)
+	// Compilation runs under pc.mu deliberately: concurrent gets of one
+	// key must not compile (and then leak) duplicate plans.
+	//abmm:allow lock-discipline
 	p := compile()
 	pc.entries[key] = pc.order.PushFront(p)
 	cap := pc.cap

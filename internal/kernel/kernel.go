@@ -207,6 +207,7 @@ func GEMM(outs []Out, aTerms, bTerms []Term, bl Blocking, workers int, al pool.A
 				// pays. Cold for the warm-path guarantee (workers == 1).
 				//abmm:allow hotpath-alloc
 				houts := append([]Out(nil), outs...)
+				// Same heap-copy discipline for the term table.
 				//abmm:allow hotpath-alloc
 				haT := append([]Term(nil), aTerms...)
 				mc, pcc, kcc, jcc, ncc := bl.MC, pc, kc, jc, nc

@@ -26,8 +26,17 @@ import (
 // Registration is cross-package and includes test units, so a test
 // that atomically pokes a field makes plain accesses anywhere else in
 // the module findings.
+//
+// atomic-alignment rides on the same registry: a 64-bit field accessed
+// through the function-style sync/atomic API must be 64-bit aligned on
+// 32-bit platforms too — the runtime only guarantees 4-byte alignment
+// there, and a misaligned 64-bit atomic panics on 386/arm. The check
+// computes each registered field's offset under the 386 size rules and
+// requires offset%8 == 0 (first in the struct, or padded there).
+// Typed atomic.Int64/Uint64 fields align themselves and are exempt.
 
 const atomicCheck = "atomic-consistency"
+const alignCheck = "atomic-alignment"
 
 func checkAtomic(p *pass) {
 	// Field registries keyed by declaration position (stable across the
@@ -91,6 +100,63 @@ func checkAtomic(p *pass) {
 			})
 		}
 	}
+
+	checkAlignment(p, funcStyle)
+}
+
+// checkAlignment flags registered function-style 64-bit atomic fields
+// that a 32-bit platform would place at a non-8-byte offset.
+func checkAlignment(p *pass, funcStyle map[string]string) {
+	sizes := types.SizesFor("gc", "386")
+	for _, u := range p.base {
+		for _, f := range u.ScanFiles {
+			ast.Inspect(f, func(n ast.Node) bool {
+				ts, ok := n.(*ast.TypeSpec)
+				if !ok {
+					return true
+				}
+				obj := u.Info.Defs[ts.Name]
+				if obj == nil {
+					return true
+				}
+				st, ok := obj.Type().Underlying().(*types.Struct)
+				if !ok || st.NumFields() == 0 {
+					return true
+				}
+				fields := make([]*types.Var, st.NumFields())
+				for i := range fields {
+					fields[i] = st.Field(i)
+				}
+				offsets := sizes.Offsetsof(fields)
+				for i, fv := range fields {
+					key := p.fset.Position(fv.Pos()).String()
+					if _, reg := funcStyle[key]; !reg || !is64BitInt(fv.Type()) {
+						continue
+					}
+					if offsets[i]%8 != 0 {
+						p.report(fv.Pos(), alignCheck,
+							fmt.Sprintf("64-bit atomic field %s sits at offset %d on 32-bit platforms; make it the first field or pad to 8-byte alignment",
+								fv.Name(), offsets[i]))
+					}
+				}
+				return true
+			})
+		}
+	}
+}
+
+// is64BitInt reports whether t is a fixed 64-bit integer — the types
+// whose function-style atomics require 8-byte alignment everywhere.
+func is64BitInt(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	if !ok {
+		return false
+	}
+	switch b.Kind() {
+	case types.Int64, types.Uint64:
+		return true
+	}
+	return false
 }
 
 // fieldObj returns the struct-field variable a selector resolves to,

@@ -11,6 +11,39 @@ func DefaultConfig(dir string) Config {
 		ParallelPkgs: map[string]bool{
 			"abmm/internal/parallel": true,
 		},
+		// The serving layer's acquire/release obligations, enforced by
+		// resource-pairing: traces reach Finish, spans reach End, gate
+		// slots and coalescer windows call their release closures, plan
+		// claims return to the registry, arena draws go back to their
+		// allocator. Deferred releases satisfy panic paths too.
+		Pairs: []Pair{
+			{Acquire: "abmm/internal/reqtrace.New", Err: -1,
+				Releases: []string{"method:Finish"}, What: "trace"},
+			{Acquire: "abmm/internal/reqtrace.NewRemote", Err: -1,
+				Releases: []string{"method:Finish"}, What: "trace"},
+			{Acquire: "(*abmm/internal/reqtrace.Trace).StartSpan", Err: -1,
+				Releases: []string{"method:End"}, What: "span"},
+			{Acquire: "(abmm/internal/reqtrace.Span).StartChild", Err: -1,
+				Releases: []string{"method:End"}, What: "child span"},
+			{Acquire: "(*abmm/internal/server.gate).acquire", Result: 0, Err: 2,
+				Releases: []string{"call"}, What: "gate slot"},
+			{Acquire: "(*abmm/internal/server.coalescer).enter", Result: 1, Err: -1,
+				Releases: []string{"call"}, What: "coalescer window"},
+			{Acquire: "(*abmm/internal/obs.PlanRegistry).Claim", Err: -1,
+				Releases: []string{"pass:(*abmm/internal/obs.PlanRegistry).Release"}, What: "plan slot"},
+			{Acquire: "(abmm/internal/pool.Allocator).Floats", Err: -1,
+				Releases: []string{"pass:(abmm/internal/pool.Allocator).PutFloats", "pass:(*abmm/internal/pool.Arena).PutFloats"}, What: "arena floats"},
+			{Acquire: "(abmm/internal/pool.Allocator).Mat", Err: -1,
+				Releases: []string{"pass:(abmm/internal/pool.Allocator).PutMat", "pass:(*abmm/internal/pool.Arena).PutMat"}, What: "arena matrix"},
+			{Acquire: "(abmm/internal/pool.Allocator).Hdr", Err: -1,
+				Releases: []string{"pass:(abmm/internal/pool.Allocator).PutHdr", "pass:(*abmm/internal/pool.Arena).PutHdr"}, What: "arena header"},
+			{Acquire: "(abmm/internal/pool.Allocator).Mats", Err: -1,
+				Releases: []string{"pass:(abmm/internal/pool.Allocator).PutMats", "pass:(*abmm/internal/pool.Arena).PutMats"}, What: "arena matrix slice"},
+			{Acquire: "(*abmm/internal/pool.Arena).Floats", Err: -1,
+				Releases: []string{"pass:(*abmm/internal/pool.Arena).PutFloats"}, What: "arena floats"},
+			{Acquire: "(*abmm/internal/pool.Arena).Mat", Err: -1,
+				Releases: []string{"pass:(*abmm/internal/pool.Arena).PutMat"}, What: "arena matrix"},
+		},
 		DDPkgs: map[string]bool{
 			"abmm/internal/dd": true,
 		},

@@ -15,6 +15,22 @@
 //   - import-allowlist: stdlib-only imports module-wide plus a
 //     per-package internal dependency DAG.
 //
+// The service-layer checks (DESIGN.md §2h) guard the concurrency around
+// the kernel:
+//
+//   - resource-pairing: every configured acquire (trace/span start, gate
+//     acquire, coalescer enter, plan claim, arena draw) reaches its
+//     release on every return path, or is deferred.
+//   - ctx-discipline: no context.Background()/TODO() outside package
+//     main, and no exported entry point that takes a ctx and drops it.
+//   - lock-discipline: no channel ops, blocking calls, or dynamic
+//     callbacks while a mutex is held, and fields declared
+//     //abmm:guards <mu> are only touched with their guard held.
+//   - goroutine-lifecycle: every go statement has a reachable stop
+//     signal (context, done channel, or WaitGroup discipline).
+//   - metric-cardinality: Prometheus label values come from bounded
+//     sets, not fmt.Sprintf chains or request-derived strings.
+//
 // Source directives tune the checks where the invariant is intentional:
 //
 //	//abmm:hotpath              (func doc) root of the no-alloc traversal
@@ -23,8 +39,16 @@
 //	//abmm:allow <check> [...]  suppress the named checks on the
 //	                            comment's line and the line below (as a
 //	                            func doc comment: the whole function)
+//	//abmm:guards <field>       (struct-field doc or trailing comment)
+//	                            the field is guarded by the sibling
+//	                            mutex field named <field>
 //
-// See DESIGN.md §2c for the directive contract and how to add a check.
+// Every //abmm:allow must sit in a comment group that also carries at
+// least one plain prose line justifying it; a bare allow is itself a
+// finding (unjustified-allow), and that finding cannot be suppressed.
+//
+// See DESIGN.md §2c and §2h for the directive contract and how to add a
+// check.
 package lint
 
 import (
@@ -78,6 +102,20 @@ type Config struct {
 	// disables the DAG half of import-allowlist (stdlib-only is still
 	// enforced).
 	AllowedImports map[string][]string
+	// Pairs is the resource-pairing table: acquiring calls whose result
+	// must reach a matching release on every return path. Empty
+	// disables the resource-pairing check.
+	Pairs []Pair
+}
+
+// CheckNames lists every check the suite runs, in reporting order.
+// cmd/abmmvet prints it so CI can assert the full suite is active.
+func CheckNames() []string {
+	return []string{
+		importCheck, hotpathCheck, atomicCheck, alignCheck,
+		floatCheck, ratCheck, pairingCheck, ctxCheck,
+		lockCheck, goroutineCheck, metricCheck, allowCheck,
+	}
 }
 
 // Run loads the module and applies every check, returning findings
@@ -124,6 +162,11 @@ func Run(cfg Config) ([]Finding, error) {
 	checkAtomic(p)
 	checkFloat(p)
 	checkRat(p)
+	checkPairing(p)
+	checkCtx(p)
+	checkLock(p)
+	checkGoroutine(p)
+	checkMetrics(p)
 
 	sort.Slice(p.findings, func(i, j int) bool {
 		a, b := p.findings[i], p.findings[j]
@@ -157,6 +200,10 @@ type pass struct {
 	cold      map[*ast.FuncDecl]bool
 	allowFunc map[*ast.FuncDecl]map[string]bool
 	allowLine map[string]map[int]map[string]bool
+
+	// guards maps a struct-field declaration position (the stable
+	// cross-universe key) to the //abmm:guards declaration on it.
+	guards map[string]*guardDecl
 
 	// funcIdx maps a function object (keyed by its declaration
 	// position, which is stable across test-unit re-checks) to its
@@ -198,6 +245,18 @@ func (p *pass) allowedInFunc(fd *ast.FuncDecl, check string) bool {
 	return checks != nil && (checks[check] || checks["all"])
 }
 
+// allowCheck rejects //abmm:allow directives whose comment group
+// carries no prose justification. It is the one check a directive
+// cannot suppress: an allow cannot vouch for itself.
+const allowCheck = "unjustified-allow"
+
+// guardDecl is one //abmm:guards annotation: the guarded field and the
+// name of the sibling mutex field that must be held to touch it.
+type guardDecl struct {
+	field string // guarded field name, for diagnostics
+	guard string // sibling mutex field name
+}
+
 // scanDirectives builds the directive tables from every comment of
 // every loaded file. Files shared between units are scanned once.
 func (p *pass) scanDirectives() {
@@ -205,6 +264,7 @@ func (p *pass) scanDirectives() {
 	p.cold = make(map[*ast.FuncDecl]bool)
 	p.allowFunc = make(map[*ast.FuncDecl]map[string]bool)
 	p.allowLine = make(map[string]map[int]map[string]bool)
+	p.guards = make(map[string]*guardDecl)
 	done := make(map[*ast.File]bool)
 	for _, u := range p.units {
 		for _, f := range u.Files {
@@ -217,6 +277,22 @@ func (p *pass) scanDirectives() {
 	}
 }
 
+// hasJustification reports whether the comment group contains at least
+// one non-directive prose line (the human reason for the directive).
+func hasJustification(cg *ast.CommentGroup) bool {
+	for _, c := range cg.List {
+		if strings.HasPrefix(c.Text, "//abmm:") {
+			continue
+		}
+		text := strings.TrimPrefix(strings.TrimPrefix(c.Text, "/*"), "//")
+		text = strings.TrimSuffix(text, "*/")
+		if strings.TrimSpace(text) != "" {
+			return true
+		}
+	}
+	return false
+}
+
 func (p *pass) scanFileDirectives(f *ast.File) {
 	docs := make(map[*ast.CommentGroup]*ast.FuncDecl)
 	for _, d := range f.Decls {
@@ -224,6 +300,24 @@ func (p *pass) scanFileDirectives(f *ast.File) {
 			docs[fd.Doc] = fd
 		}
 	}
+	// Struct-field comments host the //abmm:guards directive; both the
+	// doc position (above the field) and the trailing comment count.
+	fieldDocs := make(map[*ast.CommentGroup]*ast.Field)
+	ast.Inspect(f, func(n ast.Node) bool {
+		st, ok := n.(*ast.StructType)
+		if !ok || st.Fields == nil {
+			return true
+		}
+		for _, fld := range st.Fields.List {
+			if fld.Doc != nil {
+				fieldDocs[fld.Doc] = fld
+			}
+			if fld.Comment != nil {
+				fieldDocs[fld.Comment] = fld
+			}
+		}
+		return true
+	})
 	for _, cg := range f.Comments {
 		fd := docs[cg]
 		for _, c := range cg.List {
@@ -241,10 +335,39 @@ func (p *pass) scanFileDirectives(f *ast.File) {
 				if fd != nil {
 					p.cold[fd] = true
 				}
+			case "guards":
+				fld := fieldDocs[cg]
+				guard := strings.TrimSpace(args)
+				if fld == nil || guard == "" {
+					continue
+				}
+				for _, name := range fld.Names {
+					key := p.fset.Position(name.Pos()).String()
+					p.guards[key] = &guardDecl{field: name.Name, guard: guard}
+				}
 			case "allow":
-				checks := strings.Fields(args)
+				// An embedded "//" ends the check-name list (it marks
+				// trailing commentary, e.g. the fixtures' want tags).
+				names, _, _ := strings.Cut(args, "//")
+				checks := strings.Fields(names)
 				if len(checks) == 0 {
 					continue
+				}
+				if !hasJustification(cg) {
+					// Bypass report(): the directive's own line-scoped
+					// suppression must not silence this.
+					position := p.fset.Position(c.Pos())
+					key := fmt.Sprintf("%s|%s", position, allowCheck)
+					if !p.seen[key] {
+						p.seen[key] = true
+						p.findings = append(p.findings, Finding{
+							Pos:   position,
+							Check: allowCheck,
+							Message: fmt.Sprintf(
+								"//abmm:allow %s has no justifying comment; say why in the same comment group",
+								strings.Join(checks, " ")),
+						})
+					}
 				}
 				if fd != nil {
 					set := p.allowFunc[fd]

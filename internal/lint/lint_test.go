@@ -42,6 +42,23 @@ func fixtureConfig(t *testing.T) Config {
 			"fixture/imports/good": {"fixture/dep"},
 			"fixture/imports/bad":  {},
 			// fixture/imports/rogue is deliberately absent.
+			"fixture/rsrc":       {},
+			"fixture/svc":        {"fixture/rsrc"},
+			"fixture/ctxpkg":     {},
+			"fixture/lockpkg":    {},
+			"fixture/gor":        {},
+			"fixture/metricspkg": {},
+		},
+		// The fixture mirror of DefaultConfig's serving-layer pairs:
+		// a method-released span, a closure-released fallible acquire,
+		// and a pass-released registry claim.
+		Pairs: []Pair{
+			{Acquire: "fixture/rsrc.Start", Err: -1,
+				Releases: []string{"method:End"}, What: "span"},
+			{Acquire: "fixture/rsrc.Acquire", Result: 0, Err: 1,
+				Releases: []string{"call"}, What: "slot"},
+			{Acquire: "(*fixture/rsrc.Registry).Claim", Err: -1,
+				Releases: []string{"pass:(*fixture/rsrc.Registry).Release"}, What: "slot"},
 		},
 	}
 }
@@ -121,7 +138,7 @@ func TestFixtures(t *testing.T) {
 	for _, f := range findings {
 		byCheck[f.Check]++
 	}
-	for _, check := range []string{hotpathCheck, atomicCheck, floatCheck, ratCheck, importCheck} {
+	for _, check := range CheckNames() {
 		if byCheck[check] == 0 {
 			t.Errorf("check %s has no fixture true positive", check)
 		}
@@ -151,6 +168,18 @@ func TestFixtureMessages(t *testing.T) {
 		"outside the standard library",
 		"not in fixture/imports/bad's allowlist",
 		"not registered in the dependency DAG",
+		"is not released (.End()) on every return path",
+		"is discarded; it can never be released",
+		"severs the caller's cancellation",
+		"takes ctx but never uses it",
+		"can block the critical section",
+		"but b.mu is not held here",
+		"under read lock",
+		"no reachable stop signal",
+		"built with fmt.Sprintf",
+		"non-constant string concatenation",
+		"sits at offset 4 on 32-bit platforms",
+		"has no justifying comment",
 	}
 	for _, sub := range wantSubstrings {
 		found := false
@@ -163,6 +192,65 @@ func TestFixtureMessages(t *testing.T) {
 		if !found {
 			t.Errorf("no finding message contains %q", sub)
 		}
+	}
+}
+
+// TestAllowScoping pins the //abmm:allow contract across the
+// service-layer checks. The two-way fixture match already proves the
+// suppressions hold; this test makes the scoping rules themselves
+// explicit: a line-scoped allow suppresses only its own line and the
+// next, a function-doc allow suppresses the whole function, and a
+// justification-free allow is rejected as a finding that still cannot
+// suppress itself.
+func TestAllowScoping(t *testing.T) {
+	cfg := fixtureConfig(t)
+	findings, err := Run(cfg)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	svc, err := os.ReadFile(filepath.Join(cfg.Dir, "svc", "svc.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(string(svc), "\n")
+	lineOf := func(marker string) int {
+		t.Helper()
+		for i, l := range lines {
+			if strings.Contains(l, marker) {
+				return i + 1
+			}
+		}
+		t.Fatalf("marker %q not in svc.go", marker)
+		return 0
+	}
+	at := func(line int, check string) bool {
+		for _, f := range findings {
+			if f.Pos.Line == line && f.Check == check &&
+				strings.HasSuffix(filepath.ToSlash(f.Pos.Filename), "svc/svc.go") {
+				return true
+			}
+		}
+		return false
+	}
+
+	// Line-scoped: the acquire on the line below the directive is
+	// suppressed.
+	if at(lineOf("func AllowedLine")+3, pairingCheck) {
+		t.Error("line-scoped allow did not suppress the finding on the next line")
+	}
+	// Function-scoped: the acquire anywhere inside the annotated
+	// function is suppressed.
+	if at(lineOf("func AllowedFunc")+1, pairingCheck) {
+		t.Error("function-scoped allow did not suppress the finding inside the function")
+	}
+	// Unjustified: the directive is itself a finding on its own line,
+	// even though it still suppresses its target check.
+	badLine := lineOf("func UnjustifiedAllow") + 1
+	if !at(badLine, allowCheck) {
+		t.Errorf("no unjustified-allow finding at svc.go:%d", badLine)
+	}
+	if at(badLine+1, pairingCheck) {
+		t.Error("unjustified allow should still suppress its target check; the leak finding leaked through")
 	}
 }
 

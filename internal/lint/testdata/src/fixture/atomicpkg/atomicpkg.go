@@ -30,3 +30,28 @@ func (c *Counter) Typed() int64 {
 func (c *Counter) Fork() atomic.Int64 {
 	return c.typed // want atomic-consistency
 }
+
+// Misaligned places a bool before a function-style 64-bit atomic: on
+// 386 the field lands at offset 4 and the atomic op faults.
+type Misaligned struct {
+	ready bool
+	hits  int64 // want atomic-alignment
+}
+
+// Bump is the sanctioned access that registers hits.
+func (m *Misaligned) Bump() {
+	atomic.AddInt64(&m.hits, 1)
+}
+
+// Padded pushes its 64-bit atomic to an 8-byte offset explicitly: the
+// near-miss that stays clean.
+type Padded struct {
+	ready bool
+	_     [7]byte
+	hits  int64
+}
+
+// Bump registers Padded.hits the same way.
+func (p *Padded) Bump() {
+	atomic.AddInt64(&p.hits, 1)
+}

@@ -1,0 +1,53 @@
+// Package ctxpkg exercises ctx-discipline: minting root contexts
+// outside package main, and exported entry points that drop an
+// incoming ctx.
+package ctxpkg
+
+import "context"
+
+// Mint severs the caller's cancellation mid-stack.
+func Mint() context.Context {
+	return context.Background() // want ctx-discipline
+}
+
+// Todo is the same severing through the placeholder root.
+func Todo() error {
+	ctx := context.TODO() // want ctx-discipline
+	return ctx.Err()
+}
+
+// Drops takes a ctx and never reads it: the caller's deadline and
+// cancellation go nowhere.
+func Drops(ctx context.Context, n int) int { // want ctx-discipline
+	return n * 2
+}
+
+// Uses threads the ctx: clean.
+func Uses(ctx context.Context) error {
+	return ctx.Err()
+}
+
+// drops is unexported: internal helpers may stage a ctx for a later
+// wiring pass without being flagged.
+func drops(ctx context.Context) int { return 0 }
+
+// OptOut pins an interface-shaped signature; the blank name is the
+// explicit declaration that the ctx is unused on purpose.
+func OptOut(_ context.Context) int { return 1 }
+
+// Derived builds on the incoming ctx rather than a fresh root: clean.
+func Derived(ctx context.Context) context.Context {
+	ctx, cancel := context.WithCancel(ctx)
+	cancel()
+	return ctx
+}
+
+// Root owns a deliberate process-scoped context (a trace region that
+// outlives any request) and justifies the allow.
+//
+//abmm:allow ctx-discipline
+func Root() error {
+	return context.Background().Err()
+}
+
+var _ = drops

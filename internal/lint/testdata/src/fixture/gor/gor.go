@@ -1,0 +1,86 @@
+// Package gor exercises goroutine-lifecycle: spawns with no reachable
+// stop signal versus the context / done-channel / WaitGroup idioms.
+package gor
+
+import (
+	"context"
+	"sync"
+)
+
+func work() {}
+
+// Fire spawns a loop nothing can stop.
+func Fire() {
+	go func() { // want goroutine-lifecycle
+		for {
+			work()
+		}
+	}()
+}
+
+// Detached spawns a static module function with no signal in its body.
+func Detached() {
+	go work() // want goroutine-lifecycle
+}
+
+// DoneChannel selects on a stop channel: stoppable.
+func DoneChannel(done chan struct{}) {
+	go func() {
+		for {
+			select {
+			case <-done:
+				return
+			default:
+				work()
+			}
+		}
+	}()
+}
+
+// WithContext references the ctx inside the body: cancellation
+// reaches it.
+func WithContext(ctx context.Context) {
+	go func() {
+		<-ctx.Done()
+	}()
+}
+
+// CtxArg passes a ctx into the spawned call: the callee is handed the
+// stop signal even if we cannot see its body use it.
+func CtxArg(ctx context.Context) {
+	go sleeper(ctx)
+}
+
+func sleeper(ctx context.Context) {
+	<-ctx.Done()
+}
+
+// Joined registers with a WaitGroup before spawning: the spawner
+// joins it.
+func Joined(wg *sync.WaitGroup) {
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		work()
+	}()
+}
+
+// StaticPump spawns a module function whose body drains a channel:
+// the range ends when the channel closes.
+func StaticPump(ch chan int) {
+	go pump(ch)
+}
+
+func pump(ch chan int) {
+	for range ch {
+		work()
+	}
+}
+
+// Server spawns an opaque external body on purpose — the listener is
+// closed by Shutdown — and justifies the allow.
+//
+//abmm:allow goroutine-lifecycle
+func Server(serve func() error) {
+	go serve()
+}

@@ -43,6 +43,7 @@ func SpillAllowed(n int) {
 	var buf [4]term
 	s := buf[:]
 	if n > len(buf) {
+		// Cold spill: real inputs never exceed the stack buffer.
 		//abmm:allow hotpath-alloc
 		s = make([]term, n)
 	}

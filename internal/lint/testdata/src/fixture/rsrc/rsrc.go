@@ -1,0 +1,36 @@
+// Package rsrc is the resource library the resource-pairing fixtures
+// draw from: a span with an End method, a refcounted registry with a
+// Claim/Release pair, and an acquire that returns a release closure
+// plus an error. The fixture config registers these as Pairs the same
+// way DefaultConfig registers the repo's reqtrace/gate/pool types.
+package rsrc
+
+// Span is a method-released resource (the reqtrace.Span shape).
+type Span struct{ id int }
+
+// Start begins a span; the caller must End it.
+func Start() Span { return Span{} }
+
+// End releases the span.
+func (s Span) End() {}
+
+// Annotate is a non-releasing method: using it is not a hand-off.
+func (s Span) Annotate(n int) {}
+
+// Slot is a pass-released resource (the PlanRegistry shape).
+type Slot struct{ n int }
+
+// Registry hands out slots that must come back through Release.
+type Registry struct{ refs int }
+
+// Claim draws a slot; the caller must Release it.
+func (r *Registry) Claim() *Slot { return &Slot{} }
+
+// Release returns a slot to the registry.
+func (r *Registry) Release(s *Slot) { _ = s }
+
+// Acquire is a closure-released, fallible resource (the gate.acquire
+// shape): release is nil exactly when err is non-nil.
+func Acquire() (release func(), err error) {
+	return func() {}, nil
+}

@@ -1,0 +1,173 @@
+// Package svc exercises resource-pairing: leaks on early returns,
+// discarded acquisitions, and the release idioms that must stay clean
+// — defers, sequential releases, error guards, nil guards, ownership
+// hand-offs. It also hosts the //abmm:allow scoping cases for the
+// service-layer checks.
+package svc
+
+import "fixture/rsrc"
+
+// LeakOnEarlyReturn ends the span on the fall-through path only; the
+// early return leaks it.
+func LeakOnEarlyReturn(cond bool) {
+	s := rsrc.Start() // want resource-pairing
+	if cond {
+		return
+	}
+	s.End()
+}
+
+// Discarded drops the span at the call site: it can never be ended.
+func Discarded() {
+	rsrc.Start() // want resource-pairing
+}
+
+// DiscardedBlank is the same leak through the blank identifier.
+func DiscardedBlank() {
+	_ = rsrc.Start() // want resource-pairing
+}
+
+// NeverReleased falls off the end with the span still live.
+func NeverReleased() {
+	s := rsrc.Start() // want resource-pairing
+	s.Annotate(1)
+}
+
+// LeakClosure releases the gate slot on only one of the success
+// paths.
+func LeakClosure(n int) error {
+	release, err := rsrc.Acquire() // want resource-pairing
+	if err != nil {
+		return err
+	}
+	if n > 0 {
+		return nil
+	}
+	release()
+	return nil
+}
+
+// LeakSlot returns the claimed slot to the registry on one path only.
+func LeakSlot(reg *rsrc.Registry, cond bool) {
+	sl := reg.Claim() // want resource-pairing
+	if cond {
+		return
+	}
+	reg.Release(sl)
+}
+
+// DeferEnd defers the release: every return and panic path is covered.
+func DeferEnd(cond bool) {
+	s := rsrc.Start()
+	defer s.End()
+	if cond {
+		return
+	}
+	s.Annotate(2)
+}
+
+// SequentialEnd releases before the only return; method calls on the
+// resource along the way are not hand-offs.
+func SequentialEnd() int {
+	s := rsrc.Start()
+	s.Annotate(1)
+	s.End()
+	return 1
+}
+
+// ErrGuard returns early only under the acquire's error test, where
+// release is nil by contract.
+func ErrGuard() error {
+	release, err := rsrc.Acquire()
+	if err != nil {
+		return err
+	}
+	defer release()
+	return nil
+}
+
+// NilGuard releases behind a nil test of the resource itself: on the
+// untaken path there is nothing to release.
+func NilGuard() {
+	release, err := rsrc.Acquire()
+	if err != nil {
+		return
+	}
+	if release != nil {
+		release()
+	}
+}
+
+// DeferWrapped releases inside a deferred literal.
+func DeferWrapped(reg *rsrc.Registry) {
+	sl := reg.Claim()
+	defer func() {
+		reg.Release(sl)
+	}()
+}
+
+// Handoff returns the span to the caller: ownership transfers with it.
+func Handoff() rsrc.Span {
+	s := rsrc.Start()
+	return s
+}
+
+// holder keeps a slot across calls (the Plan.slot pattern).
+type holder struct{ s *rsrc.Slot }
+
+// Stored writes the slot into a field: ownership transfer, released
+// by the holder's own teardown.
+func (h *holder) Stored(reg *rsrc.Registry) {
+	h.s = reg.Claim()
+}
+
+// retire is that teardown.
+func (h *holder) retire(reg *rsrc.Registry) {
+	reg.Release(h.s)
+}
+
+// PassedAlong hands the span to a helper that now owns it.
+func PassedAlong(cond bool) {
+	s := rsrc.Start()
+	finishLater(s)
+	if cond {
+		return
+	}
+}
+
+func finishLater(s rsrc.Span) { s.End() }
+
+// AllowedLine suppresses the leak with a justified line-scoped allow.
+func AllowedLine(cond bool) {
+	// The harness teardown ends this span; pairing cannot see through
+	// the indirection.
+	//abmm:allow resource-pairing
+	s := rsrc.Start()
+	if cond {
+		return
+	}
+	s.End()
+}
+
+// AllowedFunc leaks by design — a process-lifetime span — and says so
+// with a function-scoped allow.
+//
+//abmm:allow resource-pairing
+func AllowedFunc(cond bool) {
+	s := rsrc.Start()
+	if cond {
+		return
+	}
+	s.End()
+}
+
+// UnjustifiedAllow suppresses a check without saying why: the bare
+// directive is itself a finding, and cannot allow itself.
+func UnjustifiedAllow(cond bool) {
+	//abmm:allow resource-pairing // want unjustified-allow
+	s := rsrc.Start()
+	if cond {
+		return
+	}
+	s.End()
+}

@@ -105,6 +105,9 @@ func Serve(addr string, c *Collector) (*Server, error) {
 		return nil, err
 	}
 	s := &Server{ln: ln, srv: &http.Server{Handler: Handler(c)}}
+	// Serve returns when Close closes the listener: that close is the
+	// goroutine's stop signal.
+	//abmm:allow goroutine-lifecycle
 	go s.srv.Serve(ln)
 	return s, nil
 }

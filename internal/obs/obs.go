@@ -187,11 +187,16 @@ func StartMul(rec Recorder, info MulInfo) MulSpan {
 	}
 	ms := MulSpan{rec: rec, info: info}
 	if tracing {
+		// The runtime/trace task is process-scoped and owns its own
+		// lifetime (ended by MulSpan.End); there is no caller ctx here.
+		//abmm:allow ctx-discipline
 		ms.ctx, ms.task = trace.NewTask(context.Background(), "abmm.multiply")
 	}
 	if l, ok := rec.(PprofLabeler); ok && l.PprofLabels() {
 		ms.labels = true
 		if ms.ctx == nil {
+			// Same process-scoped root for the pprof label set.
+			//abmm:allow ctx-discipline
 			ms.ctx = context.Background()
 		}
 	}

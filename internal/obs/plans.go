@@ -189,8 +189,8 @@ const DefaultMaxPlans = 64
 type PlanRegistry struct {
 	mu    sync.Mutex
 	max   int
-	slots []*PlanSlot
-	index map[PlanID]*PlanSlot
+	slots []*PlanSlot          //abmm:guards mu
+	index map[PlanID]*PlanSlot //abmm:guards mu
 
 	other      PlanSlot // overflow slot for plans beyond the bound
 	overflowed atomic.Int64

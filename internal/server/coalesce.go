@@ -40,7 +40,7 @@ type window struct {
 // coalescer tracks the open execution windows by shape.
 type coalescer struct {
 	mu      sync.Mutex
-	windows map[shapeKey]*window
+	windows map[shapeKey]*window //abmm:guards mu
 
 	opened atomic.Int64 // windows opened (first request for a shape)
 	joined atomic.Int64 // requests that joined an already-open window

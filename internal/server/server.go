@@ -155,7 +155,7 @@ type Server struct {
 	algs map[string]bool
 
 	musMu sync.RWMutex
-	mus   map[muKey]*abmm.Multiplier
+	mus   map[muKey]*abmm.Multiplier //abmm:guards musMu
 
 	mux      *http.ServeMux
 	httpSrv  *http.Server
@@ -294,6 +294,9 @@ func (s *Server) Start(addr string) error {
 	}
 	s.ln = ln
 	s.httpSrv = &http.Server{Handler: s.Handler()}
+	// Serve returns when Shutdown or Close tears the listener down:
+	// that teardown is the goroutine's stop signal.
+	//abmm:allow goroutine-lifecycle
 	go s.httpSrv.Serve(ln)
 	return nil
 }
