@@ -171,3 +171,20 @@ func UnjustifiedAllow(cond bool) {
 	}
 	s.End()
 }
+
+// reviewtmp: clean code — span fully handled inside the loop body.
+func PerIterSpan(n int) {
+	for i := 0; i < n; i++ {
+		s := rsrc.Start()
+		s.Annotate(i)
+		s.End()
+	}
+}
+
+// reviewtmp: clean code — span fully handled inside the if body.
+func BranchScoped(cond bool) {
+	if cond {
+		s := rsrc.Start()
+		s.End()
+	}
+}
