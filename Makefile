@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet lint bench kernel-bench bench-json bench-compare serve-smoke slo-smoke trace-demo clean
+.PHONY: all build test race vet lint bench kernel-bench bench-json bench-compare serve-smoke slo-smoke tune-smoke tune-experiments trace-demo clean
 
 all: build vet test lint
 
@@ -22,7 +22,7 @@ test:
 # `make lint` runs directly).
 race:
 	$(GO) test -race -short -run 'TestMultiplierConcurrent|TestMultiplyIntoPadded|TestMultiplierStats' .
-	$(GO) test -race -short ./internal/core/... ./internal/bilinear/... ./internal/basis/... ./internal/kernel/... ./internal/pool/... ./internal/obs/... ./internal/reqtrace/... ./internal/lint/... ./internal/server/...
+	$(GO) test -race -short ./internal/core/... ./internal/bilinear/... ./internal/basis/... ./internal/kernel/... ./internal/pool/... ./internal/obs/... ./internal/reqtrace/... ./internal/lint/... ./internal/server/... ./internal/tune/...
 
 vet:
 	$(GO) vet ./...
@@ -121,6 +121,60 @@ slo-smoke:
 	fi; \
 	kill -TERM $$pid; wait $$pid; \
 	exit $$status
+
+# Autotuning smoke test: offline-tune one tiny shape with `bench
+# -tune`, boot abmmd with the written profile, and assert the decision
+# is visible end to end — X-Abmm-Plan reports the tuned identity,
+# /metrics reports abmm_tune_profile_loaded 1, and /debug/plans marks
+# the plan tuned. CI runs this step next to serve-smoke/slo-smoke.
+tune-smoke:
+	$(GO) build -o /tmp/abmmd ./cmd/abmmd
+	$(GO) build -o /tmp/abmm-bench ./cmd/bench
+	/tmp/abmm-bench -tune 8x8x8 -tune-out /tmp/abmm-tune-smoke.json
+	/tmp/abmmd -addr $(SMOKE_ADDR) -algs ours -tune-profile /tmp/abmm-tune-smoke.json & \
+	pid=$$!; \
+	for i in $$(seq 1 50); do \
+		if wget -q -O /dev/null http://$(SMOKE_ADDR)/healthz 2>/dev/null; then break; fi; \
+		sleep 0.1; \
+	done; \
+	status=0; \
+	ROW='[1,1,1,1,1,1,1,1]'; \
+	A="[$$ROW,$$ROW,$$ROW,$$ROW,$$ROW,$$ROW,$$ROW,$$ROW]"; \
+	wget -q -S -O /dev/null --header='Content-Type: application/json' \
+		--post-data="{\"alg\":\"ours\",\"a\":$$A,\"b\":$$A}" \
+		http://$(SMOKE_ADDR)/v1/multiply 2>/tmp/abmm-tune-headers || \
+		{ echo "tune-smoke: multiply request failed" >&2; status=1; }; \
+	if [ $$status -eq 0 ]; then \
+		grep -q 'X-Abmm-Plan: ours/L0/seq/tuned' /tmp/abmm-tune-headers || \
+		{ echo "tune-smoke: X-Abmm-Plan missing the tuned identity" >&2; \
+		  cat /tmp/abmm-tune-headers >&2; status=1; }; \
+	fi; \
+	if [ $$status -eq 0 ]; then \
+		wget -q -O /tmp/abmm-tune-metrics http://$(SMOKE_ADDR)/metrics && \
+		grep -q '^abmm_tune_profile_loaded 1' /tmp/abmm-tune-metrics || \
+		{ echo "tune-smoke: abmm_tune_profile_loaded != 1" >&2; status=1; }; \
+	fi; \
+	if [ $$status -eq 0 ]; then \
+		wget -q -O /tmp/abmm-tune-plans.json "http://$(SMOKE_ADDR)/debug/plans?format=json" && \
+		grep -q '"tuned": true' /tmp/abmm-tune-plans.json || \
+		{ echo "tune-smoke: /debug/plans missing a tuned plan" >&2; status=1; }; \
+	fi; \
+	kill -TERM $$pid; wait $$pid; \
+	exit $$status
+
+# Tuned-vs-default acceptance run behind the EXPERIMENTS.md table:
+# tune the odd/non-square shape set and require at least two of the
+# shapes to gain >= 10% over the shape-blind default plan (the two
+# odd non-square shapes and the odd square clear it; the even
+# rectangle is the honest control that mostly doesn't). Takes a few
+# minutes of real measurement — not part of the tier-1 gate; run it
+# uncontended when touching the tuner, the kernel, or the engine
+# schedules.
+tune-experiments:
+	$(GO) run ./cmd/bench \
+		-tune 1023x2047x2047,2047x1023x2047,1536x512x1536,1023x1023x1023 \
+		-reps 5 \
+		-tune-out /tmp/abmm-tune-experiments.json -tune-min-gain 10 -tune-min-gained 2
 
 # Record an execution trace of one multiplication and open the viewer:
 # task "abmm.multiply", regions per pipeline phase, and per-node

@@ -48,9 +48,11 @@ var ladermanW = [][]int64{
 }
 
 // Laderman returns Laderman's ⟨3,3,3;23⟩-algorithm, the classic fast
-// 3×3 base case (23 multiplications instead of 27). It anchors the
-// ⟨3,3,3⟩ experiment family of Figures 1 and 3; its orbit and
-// decompositions generate the algorithm variants those figures compare.
+// 3×3 base case (23 multiplications instead of 27), with stability
+// factor E = 35 (Definition III.2; classical ⟨3,3,3⟩ has E = 3). It
+// anchors the ⟨3,3,3⟩ experiment family of Figures 1 and 3; its orbit
+// and decompositions generate the algorithm variants those figures
+// compare.
 func Laderman() *Algorithm {
 	return standard("laderman", 3, 3, 3,
 		exact.FromRows(ladermanU),

@@ -140,7 +140,10 @@ func copyStrided(dst, src *exact.Matrix, srcGroup, dstGroup, off, colOff int) {
 // HopcroftKerr223 returns a ⟨2,2,3;11⟩-algorithm built by column
 // composition of Strassen's algorithm with the classical ⟨2,2,1;4⟩:
 // 11 products matches the Hopcroft–Kerr rank of ⟨2,2,3⟩ (classical
-// needs 12).
+// needs 12). Its stability factor is E = 12, inherited from the
+// Strassen factor through the composition (classical ⟨2,2,3⟩ has
+// E = 2) — the rectangular shape, not extra instability, is what it
+// trades for the saved product.
 func HopcroftKerr223() *Algorithm {
 	alg, err := ComposeCols(Strassen(), Classical(2, 2, 1))
 	if err != nil {
@@ -152,7 +155,8 @@ func HopcroftKerr223() *Algorithm {
 
 // Rect323 returns a ⟨3,2,3;17⟩-algorithm built by row composition of
 // the ⟨2,2,3;11⟩ algorithm with the classical ⟨1,2,3;6⟩ (classical
-// ⟨3,2,3⟩ needs 18 products). It is this library's stand-in for the
+// ⟨3,2,3⟩ needs 18 products). Its stability factor is E = 12, same as
+// the hk223 it is built from. It is this library's stand-in for the
 // paper's ⟨3,2,3;15⟩ row of Table II.
 func Rect323() *Algorithm {
 	alg, err := ComposeRows(HopcroftKerr223(), Classical(1, 2, 3))

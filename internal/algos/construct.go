@@ -11,7 +11,9 @@ import (
 // Classical returns the classical ⟨m0,k0,n0; m0·k0·n0⟩ algorithm as a
 // recursive bilinear algorithm: one product a_{mk}·b_{kj} per scalar
 // multiplication. It is the R = m0k0n0 baseline every fast algorithm is
-// compared against and the reference point of the error analysis.
+// compared against and the reference point of the error analysis: its
+// stability factor is E = k0, which composes to the classical k² error
+// bound of Theorem I.1.
 func Classical(m0, k0, n0 int) *Algorithm {
 	r := m0 * k0 * n0
 	u, v, w := exact.New(m0*k0, r), exact.New(k0*n0, r), exact.New(m0*n0, r)

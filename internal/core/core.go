@@ -63,6 +63,17 @@ type Options struct {
 	// Multipliers may share one registry; plans evicted from the cache
 	// release their slots. See obs.PlanRegistry.
 	Plans *obs.PlanRegistry
+	// Tuner, when non-nil, is consulted once per plan-cache miss whose
+	// recursion depth was left automatic (Levels < 0): the tuner may
+	// override the algorithm, levels, schedule, and workers for that
+	// shape (from a persisted tuning profile, or by bounded measurement —
+	// see internal/tune). Plans compiled from a tuner decision carry a
+	// "/tuned" marker in their identity (X-Abmm-Plan, /debug/plans).
+	// Explicit Levels settings always win: a caller who pinned the depth
+	// is never second-guessed. The warm path never consults the tuner —
+	// tuning is compile-time cost only, so the 0 allocs/op warm
+	// MultiplyInto guarantee holds with a Tuner attached.
+	Tuner Tuner
 	// ErrorSampleEvery enables sampled numerical-accuracy telemetry:
 	// when positive and Recorder implements obs.ErrorSampler (or Plans
 	// is set, whose slots always accept samples), every Nth
@@ -75,10 +86,48 @@ type Options struct {
 	// atomic increment and keep the warm-path guarantees. 0 disables
 	// sampling.
 	ErrorSampleEvery int
+
+	// tuned marks an Options value rewritten by a Tuner decision. Set
+	// only by compilePlan (never by callers), it flows into the plan's
+	// identity as the "/tuned" marker.
+	tuned bool
 }
 
 // AutoLevels is the Levels value requesting automatic selection.
 const AutoLevels = -1
+
+// Tuner decides plan configuration on plan-cache miss. Implementations
+// (see internal/tune) typically consult a persisted tuning profile
+// first and fall back to bounded measurement. Choose runs on the cold
+// compile path, under the plan cache's mutex — it must be bounded, and
+// it must never fail: returning ok=false simply compiles the default
+// configuration.
+type Tuner interface {
+	// Choose picks a configuration for multiplying m×k by k×n, given the
+	// multiplier's default algorithm and options. ok=false means "no
+	// opinion" (compile the defaults, no tuned marker).
+	Choose(def *algos.Algorithm, opt Options, m, k, n int) (TunedChoice, bool)
+}
+
+// TunedChoice is a Tuner's decision for one shape. Zero-valued fields
+// keep the multiplier's defaults where noted.
+type TunedChoice struct {
+	// Alg replaces the multiplier's algorithm; nil keeps it.
+	Alg *algos.Algorithm
+	// Levels is the recursion depth to compile; negative keeps automatic
+	// selection.
+	Levels int
+	// TaskParallel and Direct select the engine schedule (both false =
+	// the sequential schedule, deliberately not "keep default": the
+	// schedule is part of the tuned tuple).
+	TaskParallel bool
+	Direct       bool
+	// Workers overrides the degree of parallelism; 0 keeps the default.
+	Workers int
+	// Kernel overrides the base-case blocking; the zero value keeps the
+	// default.
+	Kernel kernel.Blocking
+}
 
 func (o Options) workers() int { return parallel.Resolve(o.Workers) }
 
@@ -114,8 +163,41 @@ func (mu *Multiplier) Plan(m, k, n int) *Plan {
 	// The compile closure's capture is cold-start cost (see doc above).
 	//abmm:allow hotpath-alloc
 	return mu.cache.get(PlanKey{M: m, K: k, N: n}, func() *Plan {
-		return NewPlan(mu.Alg, mu.Opt, m, k, n)
+		return compilePlan(mu.Alg, mu.Opt, m, k, n)
 	})
+}
+
+// compilePlan is the plan-cache miss path: when a Tuner is attached and
+// the caller left the recursion depth automatic, consult it and compile
+// its choice (marked tuned); otherwise compile the defaults. Runs under
+// the plan cache's mutex, so a tuner that measures online blocks other
+// lookups on the same Multiplier for its budget — see
+// Options.Tuner and internal/tune.Config.Budget.
+//
+//abmm:coldpath
+func compilePlan(alg *algos.Algorithm, opt Options, m, k, n int) *Plan {
+	if opt.Tuner == nil || opt.Levels >= 0 {
+		return NewPlan(alg, opt, m, k, n)
+	}
+	ch, ok := opt.Tuner.Choose(alg, opt, m, k, n)
+	if !ok {
+		return NewPlan(alg, opt, m, k, n)
+	}
+	if ch.Alg != nil {
+		alg = ch.Alg
+	}
+	if ch.Levels >= 0 {
+		opt.Levels = ch.Levels
+	}
+	opt.TaskParallel, opt.Direct = ch.TaskParallel, ch.Direct
+	if ch.Workers > 0 {
+		opt.Workers = ch.Workers
+	}
+	if ch.Kernel != (kernel.Blocking{}) {
+		opt.Kernel = ch.Kernel
+	}
+	opt.tuned = true
+	return NewPlan(alg, opt, m, k, n)
 }
 
 // Stats reports plan-cache hit/miss/eviction counts and retained

@@ -45,6 +45,7 @@ type Plan struct {
 	key     PlanKey
 	levels  int
 	workers int
+	tuned   bool // configuration came from a Tuner decision
 
 	// Padded operand dimensions; padded is false when they equal the
 	// operand shape and the pad/crop steps are skipped entirely.
@@ -130,6 +131,7 @@ func NewPlan(alg *algos.Algorithm, opt Options, m, k, n int) *Plan {
 		key:     PlanKey{M: m, K: k, N: n},
 		levels:  levels,
 		workers: w,
+		tuned:   opt.tuned,
 		bopt: bilinear.Options{
 			Workers: w, TaskParallel: opt.TaskParallel, Direct: opt.Direct,
 			Recorder: opt.Recorder, Kernel: opt.Kernel, NoFuse: opt.NoFuse,
@@ -215,6 +217,7 @@ func (p *Plan) claimSlot(reg *obs.PlanRegistry) {
 	id := obs.PlanID{
 		Alg: p.alg.Name, M: p.key.M, K: p.key.K, N: p.key.N,
 		Levels: p.levels, Schedule: sched, Kernel: p.kb.Label(),
+		Tuned: p.tuned,
 	}
 	p.desc = id.Desc()
 	if reg != nil {
@@ -252,6 +255,14 @@ func (p *Plan) Key() PlanKey { return p.key }
 
 // Levels returns the compiled recursion depth.
 func (p *Plan) Levels() int { return p.levels }
+
+// Tuned reports whether the plan's configuration came from a Tuner
+// decision (Options.Tuner) rather than the multiplier's static options.
+func (p *Plan) Tuned() bool { return p.tuned }
+
+// Alg returns the algorithm the plan was compiled with — the
+// multiplier's own unless a Tuner substituted another.
+func (p *Plan) Alg() *algos.Algorithm { return p.alg }
 
 // ArenaBytes returns the high-water mark of workspace bytes held by any
 // single arena of this plan.

@@ -62,12 +62,15 @@ func DefaultConfig(dir string) Config {
 			"abmm/cmd/abmmd": {
 				"abmm",
 				"abmm/internal/server",
+				"abmm/internal/tune",
 			},
 			"abmm/cmd/abmmvet":  {"abmm/internal/lint"},
 			"abmm/cmd/algoinfo": {"abmm"},
 			"abmm/cmd/bench": {
 				"abmm",
 				"abmm/internal/bench",
+				"abmm/internal/core",
+				"abmm/internal/tune",
 			},
 			"abmm/cmd/experiments": {"abmm/internal/experiments"},
 			"abmm/cmd/loadgen": {
@@ -187,6 +190,17 @@ func DefaultConfig(dir string) Config {
 				"abmm/internal/algos",
 				"abmm/internal/basis",
 				"abmm/internal/exact",
+			},
+			// The tuner imports the abmm facade (like internal/bench, for
+			// the catalog registry) plus the engine layers it measures; the
+			// reverse arrows never exist — core sees only the Tuner
+			// interface it defines, server only abmm.Tuner.
+			"abmm/internal/tune": {
+				"abmm",
+				"abmm/internal/algos",
+				"abmm/internal/core",
+				"abmm/internal/matrix",
+				"abmm/internal/stability",
 			},
 		},
 	}

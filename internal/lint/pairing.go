@@ -103,10 +103,15 @@ type liveResource struct {
 	errObj types.Object // the error result bound alongside it, if any
 	site   *ast.AssignStmt
 	pos    token.Pos
+	// scope is the innermost block enclosing the acquisition: the
+	// variable cannot outlive it, so the obligation is checked against
+	// its paths, not the whole function's. A span started and ended
+	// inside one loop iteration or branch body is settled there.
+	scope *ast.BlockStmt
 }
 
 // pairScope finds the acquisitions bound in body (not in nested
-// literals) and path-checks each one.
+// literals) and path-checks each one within its innermost block.
 func pairScope(p *pass, info *types.Info, pairs map[string]*Pair, body *ast.BlockStmt) {
 	var live []*liveResource
 	walkParents(body, func(n ast.Node, parents []ast.Node) bool {
@@ -125,13 +130,39 @@ func pairScope(p *pass, info *types.Info, pairs map[string]*Pair, body *ast.Bloc
 						pair.What, shortName(pair.Acquire)))
 			}
 		case *ast.AssignStmt:
-			live = append(live, acquisitions(p, info, pairs, n)...)
+			scope := enclosingBlock(parents, body)
+			for _, r := range acquisitions(p, info, pairs, n) {
+				r.scope = scope
+				live = append(live, r)
+			}
 		}
 		return true
 	})
 	for _, r := range live {
-		pairPath(p, info, body, r)
+		pairPath(p, info, r.scope, r)
 	}
+}
+
+// enclosingBlock returns the innermost statement block in parents
+// (innermost last) that the path walker can traverse — switch/select
+// bodies hold clauses, not statements, so they and anything narrower
+// are skipped in favor of the next block out. Falls back to the
+// function body.
+func enclosingBlock(parents []ast.Node, body *ast.BlockStmt) *ast.BlockStmt {
+	for i := len(parents) - 1; i >= 0; i-- {
+		b, ok := parents[i].(*ast.BlockStmt)
+		if !ok {
+			continue
+		}
+		if i > 0 {
+			switch parents[i-1].(type) {
+			case *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+				continue
+			}
+		}
+		return b
+	}
+	return body
 }
 
 // acquisitions extracts the resources bound by one assignment,

@@ -36,13 +36,24 @@ type PlanID struct {
 	Levels   int
 	Schedule string
 	Kernel   string
+	// Tuned marks a plan whose configuration came from a tuner decision
+	// (profile hit or online measurement; see internal/tune) rather than
+	// from the caller's static options. It is part of the identity so a
+	// tuned and an untuned compilation of the same tuple never share a
+	// slot, and it renders as a "/tuned" suffix in Desc.
+	Tuned bool
 }
 
 // Desc renders the plan identity without its shape —
-// "alg/L<levels>/<schedule>" — the form the serving layer echoes in
-// X-Abmm-Plan headers and uses as the `plan` metric label.
+// "alg/L<levels>/<schedule>", with a "/tuned" suffix when the
+// configuration came from a tuner — the form the serving layer echoes
+// in X-Abmm-Plan headers and uses as the `plan` metric label.
 func (id PlanID) Desc() string {
-	return fmt.Sprintf("%s/L%d/%s", id.Alg, id.Levels, id.Schedule)
+	d := fmt.Sprintf("%s/L%d/%s", id.Alg, id.Levels, id.Schedule)
+	if id.Tuned {
+		d += "/tuned"
+	}
+	return d
 }
 
 // Shape renders the operand shape as "MxKxN".
@@ -294,6 +305,9 @@ type PlanStats struct {
 	// "-direct" suffix); Kernel the base-case blocking "mcxkcxnc".
 	Schedule string `json:"schedule"`
 	Kernel   string `json:"kernel"`
+	// Tuned reports whether the plan's configuration came from a tuner
+	// decision (see internal/tune).
+	Tuned bool `json:"tuned"`
 	// Live reports whether the plan is currently cached by some
 	// Multiplier (false once evicted; the slot retains history until
 	// reclaimed).
@@ -340,6 +354,7 @@ func (s *PlanSlot) stats() PlanStats {
 		Levels:              s.id.Levels,
 		Schedule:            s.id.Schedule,
 		Kernel:              s.id.Kernel,
+		Tuned:               s.id.Tuned,
 		Live:                s.refs > 0 || s.overflow,
 		Execs:               s.execs.Load(),
 		Seconds:             float64(s.nanos.Load()) / 1e9,
